@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``test_table*/test_fig*`` module regenerates one table or figure of
+the paper (quick mode: 2048^2 projections) inside the benchmark timer and
+asserts the paper's qualitative checks on the regenerated data.  The
+experiment layer caches projections, so the *first* benchmark of a figure
+measures the full pipeline (iteration fitting + trace synthesis + device
+simulation) and reruns measure the simulation alone; rounds are pinned to
+1 to keep what is being measured well-defined.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once inside the benchmark timer."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,164 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation switches one mechanism of the device simulator off (or
+sweeps one parameter) and verifies that the mechanism is what produces the
+corresponding published effect — i.e. the reproduction's behaviour is
+attributable, not accidental.
+"""
+
+import pytest
+
+from repro.core.deck import default_deck
+from repro.harness.experiments import projected_runtime
+from repro.machine.calibration import efficiency
+from repro.machine.devices import CPU_E5_2670x2, KNC_5110P
+from repro.machine.iterations import fit_iteration_model
+from repro.machine.perfmodel import PerformanceModel
+from repro.machine.workload import synthesize_solve_trace
+from repro.models.base import DeviceKind
+
+PAPER_EPS = 1e-15
+
+
+def runtime_with(device, model, solver, n, steps=2):
+    it = fit_iteration_model(solver)
+    deck = default_deck(n=n, solver=solver, end_step=steps, eps=PAPER_EPS)
+    trace = synthesize_solve_trace(model, deck, it.workload(n, steps=steps, eps=PAPER_EPS))
+    return PerformanceModel(device).time_trace(trace, model, solver, tag="solve")
+
+
+class TestOffloadRegionAblation:
+    """Without the per-target-region overhead, OpenMP 4.0's small-mesh
+    intercept (Figure 11) collapses — the overhead term is what produces
+    the paper's §3.1 observation."""
+
+    def test_region_overhead_drives_the_intercept(self, benchmark):
+        def ablate():
+            with_regions = runtime_with(KNC_5110P, "openmp4", "cg", 256)
+            no_region_device = KNC_5110P.__class__(
+                **{**KNC_5110P.__dict__, "region_overhead": 0.0}
+            )
+            without = runtime_with(no_region_device, "openmp4", "cg", 256)
+            return with_regions, without
+
+        with_regions, without = benchmark.pedantic(ablate, rounds=1, iterations=1)
+        assert with_regions.regions > 0
+        assert without.regions == 0.0
+        # at 256^2 the region overhead is a large share of the runtime
+        assert with_regions.total > without.total * 1.3
+
+
+class TestCacheModelAblation:
+    """Without the LLC bandwidth boost, the Figure 11 CPU knee vanishes."""
+
+    def test_knee_needs_the_cache_model(self, benchmark):
+        def ablate():
+            flat_cache = CPU_E5_2670x2.__class__(
+                **{**CPU_E5_2670x2.__dict__, "cache_bw_multiplier": 1.0}
+            )
+            out = {}
+            for label, device in (("cached", CPU_E5_2670x2), ("flat", flat_cache)):
+                small = runtime_with(device, "openmp-f90", "cg", 350)
+                large = runtime_with(device, "openmp-f90", "cg", 1225)
+                out[label] = (small.compute, large.compute)
+            return out
+
+        out = benchmark.pedantic(ablate, rounds=1, iterations=1)
+        it = fit_iteration_model("cg")
+
+        def per_cell_growth(pair):
+            small, large = pair
+            norm_small = small / (350**2 * it.outer_per_step(350, PAPER_EPS))
+            norm_large = large / (1225**2 * it.outer_per_step(1225, PAPER_EPS))
+            return norm_large / norm_small
+
+        assert per_cell_growth(out["cached"]) > 1.3  # the knee
+        assert per_cell_growth(out["flat"]) == pytest.approx(1.0, abs=0.02)
+
+
+class TestPPCGInnerStepSweep:
+    """Sweeping tl_ppcg_inner_steps trades outer reductions for inner
+    stencil sweeps — the design trade-off PPCG embodies (§1.1, Boulton &
+    McIntosh-Smith 2014)."""
+
+    def test_more_inner_steps_fewer_outer_iterations(self, benchmark):
+        from dataclasses import replace
+
+        from repro.core.driver import TeaLeaf
+
+        def sweep():
+            outers = {}
+            for inner in (2, 5, 10, 20):
+                deck = replace(
+                    default_deck(n=48, solver="ppcg", end_step=1, eps=1e-10),
+                    tl_ppcg_inner_steps=inner,
+                )
+                run = TeaLeaf(deck, model="openmp-f90").run()
+                solve = run.steps[0].solve
+                outers[inner] = solve.iterations - len(solve.cg_alphas)
+            return outers
+
+        outers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        counts = [outers[k] for k in sorted(outers)]
+        assert counts[0] > counts[-1]  # deeper polynomial, fewer outers
+
+
+class TestReductionStyleAblation:
+    """The manual partials read-back of CUDA/OpenCL is visible in the
+    transfer stream; Kokkos' built-in reduction is not (§3.5 vs §2.4)."""
+
+    def test_partials_traffic_only_for_manual_reductions(self, benchmark):
+        def measure():
+            cuda = projected_runtime("cuda", DeviceKind.GPU, "cg", 512, 2)
+            kokkos = projected_runtime("kokkos", DeviceKind.GPU, "cg", 512, 2)
+            return cuda, kokkos
+
+        cuda, kokkos = benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert cuda.transferred_bytes > kokkos.transferred_bytes
+
+
+class TestNowaitAblation:
+    """§3.1: 'We hypothesise that [target nowait] will have a significant
+    influence on the target overheads' — quantified by running the same
+    projected workload under 4.0 (synchronous) and 4.5 (nowait) region
+    semantics on the KNC."""
+
+    def test_nowait_cuts_the_small_mesh_intercept(self, benchmark):
+        def measure():
+            out = {}
+            for model in ("openmp4", "openmp45"):
+                it = fit_iteration_model("cg")
+                deck = default_deck(n=350, solver="cg", end_step=2, eps=PAPER_EPS)
+                trace = synthesize_solve_trace(
+                    model, deck, it.workload(350, steps=2, eps=PAPER_EPS)
+                )
+                out[model] = PerformanceModel(KNC_5110P).time_trace(
+                    trace, "openmp4", "cg", tag="solve"
+                )
+            return out
+
+        out = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # identical kernel streams, very different region bills
+        assert out["openmp45"].region_entries == out["openmp4"].region_entries
+        assert out["openmp45"].regions < 0.2 * out["openmp4"].regions
+        # at the small mesh this is a significant share of total runtime
+        saved = out["openmp4"].total - out["openmp45"].total
+        assert saved / out["openmp4"].total > 0.10
+
+
+class TestCalibrationConsistency:
+    def test_runtime_ratio_equals_inverse_efficiency_at_convergence(self, benchmark):
+        """At 2048^2 the simulated ratio collapses to the calibrated
+        efficiency ratio (overheads amortised) — the central modelling
+        assumption behind Figures 8-10."""
+
+        def measure():
+            f90 = runtime_with(CPU_E5_2670x2, "openmp-f90", "chebyshev", 2048)
+            cpp = runtime_with(CPU_E5_2670x2, "openmp-cpp", "chebyshev", 2048)
+            return f90.total, cpp.total
+
+        f90, cpp = benchmark.pedantic(measure, rounds=1, iterations=1)
+        eff_ratio = efficiency(
+            "openmp-f90", DeviceKind.CPU, "chebyshev"
+        ) / efficiency("openmp-cpp", DeviceKind.CPU, "chebyshev")
+        assert cpp / f90 == pytest.approx(eff_ratio, rel=0.02)

@@ -1,0 +1,25 @@
+"""Figure 10: Intel Xeon Phi (KNC) runtimes at the convergence mesh.
+
+Asserts §4.3: native OpenMP F90 is the best possible performance for all
+solvers; OpenMP 4.0 offload pays 45 % on CG but stays within ~10 % on
+Chebyshev/PPCG; OpenCL's CG is nearly 3x the best port; hierarchical
+parallelism roughly halves flat Kokkos' CG/PPCG time; RAJA is
+substantially slower across the board.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_fig10_knc_runtimes(once):
+    result = once(lambda: run_experiment("fig10", quick=True))
+    assert result.passed, [f"{c.name}: {c.detail}" for c in result.failed_checks]
+    seconds = result.data["seconds"]
+    # the paper's overall conclusion: every model achieves acceptable
+    # results for at least one solver (within ~2.2x of the native best)
+    models = {key.split("/")[0] for key in seconds}
+    for model in models:
+        best_ratio = min(
+            seconds[f"{model}/{s}"] / seconds[f"openmp-f90/{s}"]
+            for s in ("cg", "chebyshev", "ppcg")
+        )
+        assert best_ratio < 2.3, (model, best_ratio)

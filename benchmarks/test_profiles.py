@@ -1,0 +1,34 @@
+"""§8 exploration bench: application profiles vs programming models.
+
+Regenerates the profile-interaction table (EOS / advection / wavefront
+sweep vs the KNC model set) and asserts its qualitative findings — the
+future-work analysis the paper proposes, run as a benchmark so its cost
+is tracked alongside the paper figures.
+"""
+
+from repro.models.base import DeviceKind
+from repro.profiles.analysis import PROFILES, compare_profiles
+
+MODELS = ["openmp-f90", "openmp4", "kokkos", "kokkos-hp", "opencl", "raja"]
+
+
+def test_profile_interaction_table(once):
+    table = once(lambda: compare_profiles(DeviceKind.KNC, MODELS, n=1024))
+    assert set(table) == set(PROFILES)
+    # the sweep's offload collapse
+    assert table["sweep"]["openmp4"] > 5.0
+    # everything else keeps the offload model within the usual window
+    assert table["tealeaf_stencil"]["openmp4"] < 2.5
+    # compute-rich kernels compress the spread
+    assert max(table["eos"].values()) < max(table["tealeaf_stencil"].values())
+
+
+def test_sweep_numerics_scale(benchmark):
+    """Wall time of the real wavefront sweep (the emulation itself)."""
+    import numpy as np
+
+    from repro.profiles.workloads import wavefront_sweep
+
+    source = np.random.default_rng(0).uniform(0, 1, (256, 256))
+    psi = benchmark(wavefront_sweep, source, 0.5)
+    assert psi.shape == source.shape

@@ -1,0 +1,10 @@
+"""Table 1: supported implementations for each model."""
+
+from repro.harness import run_experiment
+
+
+def test_table1_support_matrix(once):
+    result = once(lambda: run_experiment("table1", quick=True))
+    assert result.passed, [c.detail for c in result.failed_checks]
+    # all 7 models x 3 devices verified against the published matrix
+    assert len(result.checks) == 21

@@ -1,0 +1,18 @@
+"""Table 2: devices and corresponding memory bandwidth."""
+
+from repro.harness import run_experiment
+from repro.machine import DEVICES, stream_benchmark
+from repro.util.units import GIGA
+
+
+def test_table2_stream_bandwidth(once):
+    result = once(lambda: run_experiment("table2", quick=True))
+    assert result.passed, [c.detail for c in result.failed_checks]
+
+
+def test_stream_triad_cpu(benchmark):
+    """STREAM triad on the simulated CPU: the Table 2 measured column."""
+    device = DEVICES[next(iter(DEVICES))]
+    result = benchmark(lambda: stream_benchmark(device, repetitions=3, verify=False))
+    assert abs(result.triad / device.stream_bw - 1.0) < 0.02
+    benchmark.extra_info["triad_gbs"] = round(result.triad / GIGA, 1)

@@ -1,0 +1,71 @@
+"""§8 future work: how the model ranking shifts with the application.
+
+The paper: "TeaLeaf has a specific performance profile, and it would be
+very useful to consider the success of each model relative to applications
+that have different requirements such as CloverLeaf and the SN Application
+Proxy (SNAP)".
+
+This example runs the probe kernels (CloverLeaf-style EOS and advection,
+SNAP-style wavefront sweep — real, tested numerics in
+``repro.profiles.workloads``) and prints each model's penalty factor per
+profile on the KNC: the offload model that is merely ~40% slower on
+TeaLeaf's stencils becomes >10x slower on the sweep, because a wavefront
+must open one target region per anti-diagonal.
+
+    python examples/application_profiles.py
+"""
+
+import numpy as np
+
+from repro.models.base import DeviceKind
+from repro.profiles.analysis import PROFILES, compare_profiles
+from repro.profiles.workloads import (
+    eos_ideal_gas,
+    upwind_advection,
+    wavefront_sweep,
+)
+
+MODELS = ["openmp-f90", "openmp4", "kokkos", "kokkos-hp", "opencl", "raja"]
+N = 1024
+
+
+def demonstrate_numerics() -> None:
+    print("-- the probe kernels are real computations --")
+    rng = np.random.default_rng(42)
+    density = rng.uniform(0.5, 2.0, (64, 64))
+    energy = rng.uniform(1.0, 3.0, (64, 64))
+    pressure, c = eos_ideal_gas(density, energy)
+    print(f"EOS:       mean pressure {pressure.mean():.4f}, mean sound speed {c.mean():.4f}")
+
+    u = np.zeros((1, 64))
+    u[0, 20:30] = 1.0
+    moved = upwind_advection(u, np.ones_like(u), dt_over_dx=0.5)
+    print(f"advection: total mass conserved? {np.isclose(moved.sum(), u.sum())}")
+
+    psi = wavefront_sweep(np.ones((64, 64)), sigma=0.5)
+    print(f"sweep:     psi[0,0]={psi[0,0]:.4f} -> psi[-1,-1]={psi[-1,-1]:.4f} "
+          "(flux builds up along the wavefront)\n")
+
+
+def compare() -> None:
+    table = compare_profiles(DeviceKind.KNC, MODELS, n=N)
+    print(f"-- penalty vs the per-profile winner, KNC, {N}x{N} --\n")
+    header = f"{'profile':18s}" + "".join(f"{m:>12s}" for m in MODELS)
+    print(header)
+    print("-" * len(header))
+    for name in PROFILES:
+        row = f"{name:18s}" + "".join(
+            f"{table[name][m]:12.2f}" for m in MODELS
+        )
+        print(row)
+    print(
+        "\nThe ranking—and the magnitude of the spread—depends on the "
+        "application profile: launch/region-heavy models collapse on the "
+        "dependency-limited sweep, while compute-rich kernels compress the "
+        "bandwidth-efficiency differences entirely."
+    )
+
+
+if __name__ == "__main__":
+    demonstrate_numerics()
+    compare()

@@ -1,0 +1,47 @@
+"""Quickstart: solve a heat-conduction problem with one programming model.
+
+Runs the standard TeaLeaf benchmark state layout (a hot rectangular region
+in a dense cold background) on a 128x128 mesh with the PPCG solver through
+the Kokkos port, and prints per-step convergence and field summaries.
+
+    python examples/quickstart.py [model]
+"""
+
+import sys
+
+from repro.core import TeaLeaf, default_deck
+from repro.models import available_models
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "kokkos"
+    if model not in available_models():
+        raise SystemExit(
+            f"unknown model '{model}'; pick one of: {', '.join(available_models())}"
+        )
+
+    deck = default_deck(n=128, solver="ppcg", end_step=3, eps=1e-8)
+    app = TeaLeaf(deck, model=model)
+
+    print(f"TeaLeaf {deck.x_cells}x{deck.y_cells}, solver={deck.solver}, model={model}\n")
+    result = app.run()
+    for step in result.steps:
+        line = (
+            f"step {step.step}:  {step.solve.iterations:4d} outer + "
+            f"{step.solve.inner_iterations:4d} inner iterations, "
+            f"relative residual {step.solve.relative_residual:.2e}, "
+            f"wall {step.wall_seconds:.2f}s"
+        )
+        print(line)
+
+    summary = result.final_summary
+    print(
+        f"\nfinal field summary: volume={summary.volume:.4e} "
+        f"mass={summary.mass:.4e} internal energy={summary.internal_energy:.6e} "
+        f"temperature={summary.temperature:.6e}"
+    )
+    print(f"\nexecution trace: {result.trace.summary()}")
+
+
+if __name__ == "__main__":
+    main()

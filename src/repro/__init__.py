@@ -1,0 +1,27 @@
+"""repro: a reproduction of "An Evaluation of Emerging Many-Core Parallel
+Programming Models" (Martineau, McIntosh-Smith, Gaudin & Boulton, PMAM'16).
+
+The package contains:
+
+* :mod:`repro.core` — a numerically complete TeaLeaf (2-D implicit heat
+  conduction; CG / Chebyshev / PPCG / Jacobi solvers);
+* :mod:`repro.models` — faithful Python emulations of the seven evaluated
+  programming models (OpenMP 3.0/4.0, OpenACC, Kokkos, RAJA, OpenCL,
+  CUDA), each a complete TeaLeaf port emitting execution traces;
+* :mod:`repro.comm` — the simulated MPI layer (decomposition, halo
+  exchange, allreduce) behind a transparent multi-chunk port;
+* :mod:`repro.machine` — the device performance simulator for the paper's
+  three devices: dual Xeon E5-2670, Tesla K20X, Xeon Phi KNC;
+* :mod:`repro.harness` — experiments regenerating every table and figure.
+
+Quickstart::
+
+    from repro.core import default_deck, TeaLeaf
+    deck = default_deck(n=128, solver="ppcg")
+    result = TeaLeaf(deck, model="kokkos").run()
+    print(result.final_summary)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Usage (installed as ``tealeaf`` or via ``python -m repro``):
+
+* ``tealeaf run deck.in --model kokkos`` — run a TeaLeaf deck and print
+  per-step summaries (any registered programming-model port);
+* ``tealeaf models`` — list the registered programming models (Table 1);
+* ``tealeaf experiments [--id fig9] [--quick] [--write PATH]`` —
+  regenerate the paper's tables/figures and check them;
+* ``tealeaf stream`` — run STREAM on the three simulated devices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.deck import default_deck, parse_deck_file
+from repro.core.driver import TeaLeaf
+from repro.models.base import DeviceKind, available_models, get_model
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.deck:
+        deck = parse_deck_file(args.deck)
+    else:
+        deck = default_deck(n=args.mesh, solver=args.solver, end_step=args.steps)
+    if args.solver and not args.deck:
+        deck = deck.with_solver(args.solver)
+    app = TeaLeaf(deck, model=args.model)
+    print(f"TeaLeaf {deck.x_cells}x{deck.y_cells}, solver={deck.solver}, "
+          f"model={args.model}")
+    result = app.run()
+    for step in result.steps:
+        line = (
+            f"step {step.step:3d}  t={step.sim_time:8.4f}  "
+            f"iters={step.solve.iterations:5d}  "
+            f"rel.residual={step.solve.relative_residual:.3e}  "
+            f"wall={step.wall_seconds:6.2f}s"
+        )
+        if step.summary:
+            line += (
+                f"  temp={step.summary.temperature:.6e}"
+                f"  ie={step.summary.internal_energy:.6e}"
+            )
+        print(line)
+    print(f"\ntotal wall {result.wall_seconds:.2f}s; trace: {result.trace.summary()}")
+    if args.trace_out:
+        result.trace.to_json(args.trace_out)
+        print(f"wrote execution trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'display':36s} {'CPU':12s} {'GPU':12s} {'KNC':12s}")
+    for name in available_models():
+        caps = get_model(name).capabilities
+        row = [
+            caps.support.get(k, None).value or "-"
+            if caps.support.get(k) is not None
+            else "-"
+            for k in (DeviceKind.CPU, DeviceKind.GPU, DeviceKind.KNC)
+        ]
+        print(f"{name:12s} {caps.display_name:36s} {row[0]:12s} {row[1]:12s} {row[2]:12s}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.harness import run_all, run_experiment, write_experiments_md
+    from repro.harness.report import render_checks
+
+    if args.id:
+        results = [run_experiment(args.id, quick=args.quick)]
+    else:
+        results = run_all(quick=args.quick)
+    failures = 0
+    for r in results:
+        print(f"== {r.title} ==\n")
+        print(r.rendered)
+        print()
+        print(render_checks(r.checks))
+        print()
+        failures += len(r.failed_checks)
+    if args.write:
+        path = write_experiments_md(args.write, quick=args.quick, results=results)
+        print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Cross-port equivalence check: the paper's controlled comparison."""
+    import numpy as np
+
+    from repro.core import fields as F
+
+    deck = default_deck(n=args.mesh, solver=args.solver, end_step=1, eps=1e-9)
+    grid = deck.grid()
+    print(
+        f"validating {len(available_models())} ports on "
+        f"{args.mesh}x{args.mesh} / {args.solver}..."
+    )
+    reference = None
+    worst = 0.0
+    iterations = set()
+    for model in available_models():
+        app = TeaLeaf(deck, model=model)
+        result = app.run()
+        u = app.field(F.U)[grid.inner()]
+        if reference is None:
+            reference = u
+        diff = float(np.max(np.abs(u - reference)))
+        worst = max(worst, diff)
+        iterations.add(result.total_iterations)
+        print(f"  {model:12s} iters={result.total_iterations:5d} max|u-ref|={diff:.3e}")
+    ok = worst < 1e-10 and len(iterations) == 1
+    print(
+        f"\n{'PASS' if ok else 'FAIL'}: worst cross-port difference "
+        f"{worst:.3e}, iteration counts {sorted(iterations)}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import projected_runtime
+    from repro.machine.devices import device_for
+    from repro.util.units import GIGA
+
+    kind = DeviceKind(args.device)
+    bd = projected_runtime(args.model, kind, args.solver, args.mesh, args.steps)
+    device = device_for(kind)
+    print(
+        f"{args.model} / {args.solver} on {device.name}, "
+        f"{args.mesh}x{args.mesh}, {args.steps} steps (simulated):"
+    )
+    print(f"  total            {bd.total:10.2f} s")
+    print(f"  compute          {bd.compute:10.2f} s")
+    print(f"  kernel launches  {bd.launch:10.4f} s  ({bd.kernel_launches} launches)")
+    print(f"  offload regions  {bd.regions:10.4f} s  ({bd.region_entries} entries)")
+    print(f"  reductions       {bd.reductions:10.4f} s  ({bd.reduction_count})")
+    print(f"  transfers        {bd.transfers:10.4f} s  ({bd.transferred_bytes / 1e6:.1f} MB)")
+    print(f"  achieved bandwidth {bd.achieved_bandwidth() / GIGA:8.1f} GB/s "
+          f"({bd.achieved_bandwidth() / device.stream_bw:.1%} of STREAM)")
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from repro.machine.devices import DEVICES
+    from repro.machine.roofline import render_roofline
+
+    for device in DEVICES.values():
+        print(render_roofline(device))
+        print()
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    from repro.harness.complexity import compare, render
+
+    print(
+        "Porting effort per model, measured on this repository's ports "
+        "(§3/§9 of the paper):\n"
+    )
+    print(render(compare()))
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.machine import DEVICES, stream_benchmark
+    from repro.util.units import GIGA
+
+    for device in DEVICES.values():
+        result = stream_benchmark(device)
+        bws = "  ".join(
+            f"{name.split('_')[1]}={bw / GIGA:6.1f}"
+            for name, bw in result.bandwidth.items()
+        )
+        print(f"{device.name:32s} {bws}  GB/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tealeaf",
+        description="TeaLeaf reproduction of Martineau et al., PMAM'16.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a TeaLeaf deck")
+    run.add_argument("deck", nargs="?", help="tea.in-style deck file")
+    run.add_argument("--model", default="openmp-f90", help="programming-model port")
+    run.add_argument("--mesh", type=int, default=128, help="NxN mesh (no deck file)")
+    run.add_argument("--solver", default="cg", help="cg|chebyshev|ppcg|jacobi")
+    run.add_argument("--steps", type=int, default=2, help="timesteps (no deck file)")
+    run.add_argument("--trace-out", help="write the execution trace as JSON")
+    run.set_defaults(fn=_cmd_run)
+
+    models = sub.add_parser("models", help="list registered programming models")
+    models.set_defaults(fn=_cmd_models)
+
+    exp = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    exp.add_argument("--id", help="one experiment (table1, table2, fig8..fig12)")
+    exp.add_argument("--quick", action="store_true", help="smaller projected meshes")
+    exp.add_argument("--write", nargs="?", const="EXPERIMENTS.md", default=None,
+                     help="write EXPERIMENTS.md (optionally at PATH)")
+    exp.set_defaults(fn=_cmd_experiments)
+
+    stream = sub.add_parser("stream", help="run STREAM on the simulated devices")
+    stream.set_defaults(fn=_cmd_stream)
+
+    project = sub.add_parser(
+        "project", help="simulated runtime breakdown for one configuration"
+    )
+    project.add_argument("--model", default="cuda")
+    project.add_argument("--device", default="gpu", choices=["cpu", "gpu", "knc"])
+    project.add_argument("--solver", default="cg")
+    project.add_argument("--mesh", type=int, default=4096)
+    project.add_argument("--steps", type=int, default=10)
+    project.set_defaults(fn=_cmd_project)
+
+    roofline = sub.add_parser(
+        "roofline", help="roofline placement of the TeaLeaf kernels"
+    )
+    roofline.set_defaults(fn=_cmd_roofline)
+
+    validate = sub.add_parser(
+        "validate", help="check all ports produce identical physics"
+    )
+    validate.add_argument("--mesh", type=int, default=32)
+    validate.add_argument("--solver", default="cg")
+    validate.set_defaults(fn=_cmd_validate)
+
+    complexity = sub.add_parser(
+        "complexity", help="porting-effort comparison across the ports"
+    )
+    complexity.set_defaults(fn=_cmd_complexity)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Simulated MPI layer: decomposition, halo exchange, collective reductions.
+
+The paper notes that "all of the programming models focus on node-level
+parallelism and exclude support for inter-node communications, which is
+handled with MPI in TeaLeaf" (§3).  This package is that MPI layer,
+simulated in-process: the global mesh is block-decomposed into chunks, one
+per rank; each rank runs an ordinary programming-model port; halos move
+between ranks through pack/unpack message buffers; dot products are
+completed with an allreduce.
+
+:class:`~repro.comm.multichunk.MultiChunkPort` presents the whole ensemble
+through the standard Port interface, so the solvers run *unchanged* over a
+decomposed problem — exactly the MPI+X structure of the reference app.
+"""
+
+from repro.comm.decomposition import ChunkWindow, decompose, choose_factors
+from repro.comm.communicator import Communicator, RankComm
+from repro.comm.halo import pack_edge, unpack_edge, reflect_side, Side
+from repro.comm.multichunk import MultiChunkPort
+
+__all__ = [
+    "ChunkWindow",
+    "decompose",
+    "choose_factors",
+    "Communicator",
+    "RankComm",
+    "pack_edge",
+    "unpack_edge",
+    "reflect_side",
+    "Side",
+    "MultiChunkPort",
+]

@@ -1,0 +1,91 @@
+"""In-process message passing: the mpi4py-shaped substrate.
+
+A :class:`Communicator` owns per-rank mailboxes; :class:`RankComm` is the
+per-rank handle with ``Send``/``Recv`` (buffer semantics, upper-case like
+mpi4py's fast path) and ``allreduce``.  Because ranks execute sequentially
+in-process, a ``Recv`` of a message that was never sent is a deadlock on a
+real machine — here it raises immediately, which the tests rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+
+class Communicator:
+    """A COMM_WORLD over ``size`` in-process ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ReproError(f"communicator size must be positive, got {size}")
+        self.size = size
+        # mailbox[dst] holds (src, tag, payload) in send order
+        self._mailbox: list[deque[tuple[int, int, np.ndarray]]] = [
+            deque() for _ in range(size)
+        ]
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.allreduce_count = 0
+
+    def rank(self, r: int) -> "RankComm":
+        if not (0 <= r < self.size):
+            raise ReproError(f"rank {r} outside communicator of size {self.size}")
+        return RankComm(self, r)
+
+    def ranks(self) -> list["RankComm"]:
+        return [self.rank(r) for r in range(self.size)]
+
+    # internal delivery ------------------------------------------------- #
+    def _post(self, src: int, dst: int, tag: int, payload: np.ndarray) -> None:
+        if not (0 <= dst < self.size):
+            raise ReproError(f"send to invalid rank {dst}")
+        self._mailbox[dst].append((src, tag, payload.copy()))
+        self.messages_sent += 1
+        self.bytes_sent += payload.nbytes
+
+    def _collect(self, dst: int, src: int, tag: int) -> np.ndarray:
+        box = self._mailbox[dst]
+        for i, (msg_src, msg_tag, payload) in enumerate(box):
+            if msg_src == src and msg_tag == tag:
+                del box[i]
+                return payload
+        raise ReproError(
+            f"deadlock: rank {dst} waits for (src={src}, tag={tag}) "
+            "but no matching message was sent"
+        )
+
+    def pending(self, rank: int) -> int:
+        """Messages waiting in a rank's mailbox (0 after a clean exchange)."""
+        return len(self._mailbox[rank])
+
+    def allreduce_sum(self, partials) -> float:
+        """MPI_Allreduce(SUM) over one contribution per rank."""
+        partials = list(partials)
+        if len(partials) != self.size:
+            raise ReproError(
+                f"allreduce expects {self.size} partials, got {len(partials)}"
+            )
+        self.allreduce_count += 1
+        return float(sum(partials))
+
+
+class RankComm:
+    """One rank's view of the communicator."""
+
+    def __init__(self, world: Communicator, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def Send(self, payload: np.ndarray, dest: int, tag: int = 0) -> None:
+        self.world._post(self.rank, dest, tag, np.asarray(payload))
+
+    def Recv(self, source: int, tag: int = 0) -> np.ndarray:
+        return self.world._collect(self.rank, source, tag)

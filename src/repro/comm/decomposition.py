@@ -1,0 +1,113 @@
+"""Block domain decomposition.
+
+Mirrors TeaLeaf's ``tea_decompose``: the rank count is factorised into a
+``px x py`` processor grid with aspect ratio as close as possible to the
+mesh's (minimising halo surface), and cells are dealt out as evenly as
+possible (the first remainder columns/rows get one extra cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ChunkWindow:
+    """One rank's cell-index window ``[x0, x1) x [y0, y1)`` plus neighbours.
+
+    Neighbour fields hold the neighbouring rank id or ``None`` at the
+    physical boundary.
+    """
+
+    rank: int
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+    left: int | None
+    right: int | None
+    down: int | None
+    up: int | None
+
+    @property
+    def nx(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def ny(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def cells(self) -> int:
+        return self.nx * self.ny
+
+
+def choose_factors(nranks: int, nx: int, ny: int) -> tuple[int, int]:
+    """Split ``nranks`` into (px, py) matching the mesh aspect ratio.
+
+    Scans the factor pairs of ``nranks`` and picks the one whose processor
+    grid aspect best matches ``nx/ny``, which minimises total halo
+    perimeter for near-uniform chunks.
+    """
+    if nranks < 1:
+        raise ReproError(f"rank count must be positive, got {nranks}")
+    best: tuple[int, int] | None = None
+    best_score = float("inf")
+    target = nx / ny
+    for px in range(1, nranks + 1):
+        if nranks % px:
+            continue
+        py = nranks // px
+        if px > nx or py > ny:
+            continue  # a rank would own zero cells
+        score = abs((px / py) - target)
+        if score < best_score:
+            best_score = score
+            best = (px, py)
+    if best is None:
+        raise ReproError(
+            f"cannot decompose {nx}x{ny} cells over {nranks} ranks "
+            "(more ranks than cells along an axis)"
+        )
+    return best
+
+
+def _splits(n: int, parts: int) -> list[tuple[int, int]]:
+    """Deal ``n`` cells into ``parts`` contiguous windows, remainder first."""
+    base, extra = divmod(n, parts)
+    windows = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        windows.append((start, start + size))
+        start += size
+    return windows
+
+
+def decompose(nx: int, ny: int, nranks: int) -> list[ChunkWindow]:
+    """Windows for every rank, row-major over the (px, py) processor grid."""
+    px, py = choose_factors(nranks, nx, ny)
+    xsplits = _splits(nx, px)
+    ysplits = _splits(ny, py)
+    windows: list[ChunkWindow] = []
+    for q in range(py):
+        for p in range(px):
+            rank = q * px + p
+            x0, x1 = xsplits[p]
+            y0, y1 = ysplits[q]
+            windows.append(
+                ChunkWindow(
+                    rank=rank,
+                    x0=x0,
+                    x1=x1,
+                    y0=y0,
+                    y1=y1,
+                    left=rank - 1 if p > 0 else None,
+                    right=rank + 1 if p < px - 1 else None,
+                    down=rank - px if q > 0 else None,
+                    up=rank + px if q < py - 1 else None,
+                )
+            )
+    return windows

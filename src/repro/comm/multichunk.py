@@ -1,0 +1,288 @@
+"""MultiChunkPort: a decomposed ensemble of ports behind the Port interface.
+
+This is the simulated MPI+X layer: the global mesh is block-decomposed,
+each rank owns an ordinary programming-model port on its chunk, halos move
+through the :class:`~repro.comm.communicator.Communicator`, and global
+reductions are completed with allreduce.  The TeaLeaf solvers drive a
+MultiChunkPort exactly as they drive a single-chunk port — inter-node
+communication is invisible to the node-level programming model, which is
+precisely the division of labour the paper describes (§3).
+
+Coefficient fix-up: single-chunk ports realise the zero-flux wall by
+zeroing boundary-face coefficients, but a chunk edge with a neighbour is
+*not* a wall — after each ``tea_leaf_init`` the port recomputes the face
+coefficients on internal edges from the exchanged density halos, restoring
+the exact global operator (conservation tests verify this to the last
+bit of the solver tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.comm.decomposition import ChunkWindow, decompose
+from repro.comm.halo import Side, pack_edge, reflect_side, unpack_edge
+from repro.core import fields as F
+from repro.core.chunk import Chunk
+from repro.core.grid import Grid2D
+from repro.models.base import Port, make_port
+from repro.models.tracing import Trace
+from repro.util.errors import ModelError
+
+#: Message tags: (axis, direction) -> tag base; field index is added.
+_TAGS = {
+    (Side.LEFT): 100,
+    (Side.RIGHT): 200,
+    (Side.DOWN): 300,
+    (Side.UP): 400,
+}
+
+_FIELD_TAG = {name: i for i, name in enumerate(F.FIELD_ORDER)}
+
+
+class MultiChunkPort(Port):
+    """A rank-per-chunk ensemble presenting the single-port interface."""
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        nranks: int,
+        model: str | list[str] = "openmp-f90",
+        trace: Trace | None = None,
+    ) -> None:
+        super().__init__(grid, trace)
+        self.windows: list[ChunkWindow] = decompose(grid.nx, grid.ny, nranks)
+        self.world = Communicator(nranks)
+        self.subgrids = [
+            grid.subgrid(w.x0, w.x1, w.y0, w.y1) for w in self.windows
+        ]
+        # Heterogeneous compute (the paper's §8 future-work item): each
+        # rank may run a different programming-model port — e.g. CUDA
+        # chunks next to OpenMP chunks — because the exchange and reduction
+        # protocol only touches the Port interface.
+        if isinstance(model, str):
+            models = [model] * nranks
+        else:
+            models = list(model)
+            if len(models) != nranks:
+                raise ModelError(
+                    f"{len(models)} models given for {nranks} ranks"
+                )
+        self.models = models
+        self.model_name = (
+            f"{models[0]}+mpi({nranks})"
+            if len(set(models)) == 1
+            else f"heterogeneous({','.join(models)})"
+        )
+        self.ports: list[Port] = [
+            make_port(m, sg, self.trace) for m, sg in zip(models, self.subgrids)
+        ]
+        self._dt = 0.0
+        self._coefficient = "conductivity"
+
+    # ------------------------------------------------------------------ #
+    # data interface
+    # ------------------------------------------------------------------ #
+    def _scatter(self, global_array: np.ndarray, window: ChunkWindow) -> np.ndarray:
+        """Local (halo-inclusive) slice of a global array for one window."""
+        h = self.h
+        return global_array[
+            window.y0 : window.y1 + 2 * h, window.x0 : window.x1 + 2 * h
+        ].copy()
+
+    def set_state(self, density: np.ndarray, energy0: np.ndarray) -> None:
+        if density.shape != self.grid.shape:
+            raise ModelError(
+                f"state shape {density.shape} != grid shape {self.grid.shape}"
+            )
+        self.chunks: list[Chunk] = []
+        for window, subgrid, port in zip(self.windows, self.subgrids, self.ports):
+            chunk = Chunk(
+                grid=subgrid,
+                x0=window.x0,
+                y0=window.y0,
+                density=self._scatter(density, window),
+                energy0=self._scatter(energy0, window),
+            )
+            self.chunks.append(chunk)
+            port.set_state(chunk.density, chunk.energy0)
+
+    def read_field(self, name: str) -> np.ndarray:
+        out = self.grid.allocate()
+        h = self.h
+        for window, port in zip(self.windows, self.ports):
+            local = port.read_field(name)
+            out[h + window.y0 : h + window.y1, h + window.x0 : h + window.x1] = (
+                local[h:-h, h:-h]
+            )
+        return out
+
+    def write_field(self, name: str, values: np.ndarray) -> None:
+        for window, port in zip(self.windows, self.ports):
+            port.write_field(name, self._scatter(values, window))
+
+    def _device_array(self, name: str) -> np.ndarray:
+        raise ModelError("a decomposed port has no single device array")
+
+    def begin_solve(self) -> None:
+        for port in self.ports:
+            port.begin_solve()
+
+    def end_solve(self) -> None:
+        for port in self.ports:
+            port.end_solve()
+
+    # ------------------------------------------------------------------ #
+    # halo exchange
+    # ------------------------------------------------------------------ #
+    def update_halo(self, names, depth: int) -> None:
+        for name in names:
+            self._exchange_axis(name, depth, Side.LEFT, Side.RIGHT)
+            self._exchange_axis(name, depth, Side.DOWN, Side.UP)
+
+    def _neighbour(self, window: ChunkWindow, side: Side) -> int | None:
+        return {
+            Side.LEFT: window.left,
+            Side.RIGHT: window.right,
+            Side.DOWN: window.down,
+            Side.UP: window.up,
+        }[side]
+
+    def _exchange_axis(self, name: str, depth: int, lo: Side, hi: Side) -> None:
+        """One axis of exchange: post all sends, then receive/unpack."""
+        h = self.h
+        field_tag = _FIELD_TAG[name]
+        # Post sends (pack kernels).
+        for window, port in zip(self.windows, self.ports):
+            arr = port._device_array(name)
+            comm = self.world.rank(window.rank)
+            for side in (lo, hi):
+                nbr = self._neighbour(window, side)
+                if nbr is None:
+                    continue
+                buffer = pack_edge(arr, h, depth, side)
+                port._launch("halo_pack", cells=buffer.size)
+                comm.Send(buffer, dest=nbr, tag=_TAGS[side] + field_tag)
+        # Receive and unpack (or reflect at the physical boundary).
+        for window, port in zip(self.windows, self.ports):
+            arr = port._device_array(name)
+            comm = self.world.rank(window.rank)
+            for side, opposite in ((lo, hi), (hi, lo)):
+                nbr = self._neighbour(window, side)
+                if nbr is None:
+                    reflect_side(arr, h, depth, side)
+                    port._launch("halo_update", cells=depth * max(arr.shape))
+                else:
+                    buffer = comm.Recv(source=nbr, tag=_TAGS[opposite] + field_tag)
+                    unpack_edge(arr, h, depth, side, buffer)
+                    port._launch("halo_unpack", cells=buffer.size)
+
+    # ------------------------------------------------------------------ #
+    # kernels: delegate, allreduce the reductions
+    # ------------------------------------------------------------------ #
+    def _all(self, method: str, *args) -> None:
+        for port in self.ports:
+            getattr(port, method)(*args)
+
+    def _allreduce(self, method: str, *args) -> float:
+        partials = [getattr(port, method)(*args) for port in self.ports]
+        return self.world.allreduce_sum(partials)
+
+    def set_field(self) -> None:
+        self._all("set_field")
+
+    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+        self._dt = dt
+        self._coefficient = coefficient
+        # Coefficients at chunk edges need neighbour densities.
+        self.update_halo((F.DENSITY, F.ENERGY1), depth=1)
+        self._all("tea_leaf_init", dt, coefficient)
+        self._fixup_internal_edges()
+
+    def _fixup_internal_edges(self) -> None:
+        """Recompute face coefficients zeroed as 'walls' on internal edges."""
+        h = self.h
+        recip = self._coefficient == "recip_conductivity"
+        for window, port, sg in zip(self.windows, self.ports, self.subgrids):
+            rx = self._dt / (sg.dx * sg.dx)
+            ry = self._dt / (sg.dy * sg.dy)
+            density = port._device_array(F.DENSITY)
+            w = 1.0 / density if recip else density
+            kx = port._device_array(F.KX)
+            ky = port._device_array(F.KY)
+            rows = slice(h, h + sg.ny)
+            cols = slice(h, h + sg.nx)
+            if window.left is not None:
+                wl, wc = w[rows, h - 1], w[rows, h]
+                kx[rows, h] = rx * (wl + wc) / (2.0 * wl * wc)
+                port._launch("halo_update", cells=sg.ny)
+            if window.right is not None:
+                wl, wc = w[rows, h + sg.nx - 1], w[rows, h + sg.nx]
+                kx[rows, h + sg.nx] = rx * (wl + wc) / (2.0 * wl * wc)
+                port._launch("halo_update", cells=sg.ny)
+            if window.down is not None:
+                wl, wc = w[h - 1, cols], w[h, cols]
+                ky[h, cols] = ry * (wl + wc) / (2.0 * wl * wc)
+                port._launch("halo_update", cells=sg.nx)
+            if window.up is not None:
+                wl, wc = w[h + sg.ny - 1, cols], w[h + sg.ny, cols]
+                ky[h + sg.ny, cols] = ry * (wl + wc) / (2.0 * wl * wc)
+                port._launch("halo_update", cells=sg.nx)
+
+    def tea_leaf_residual(self) -> None:
+        self._all("tea_leaf_residual")
+
+    def cg_init(self) -> float:
+        return self._allreduce("cg_init")
+
+    def cg_calc_w(self) -> float:
+        return self._allreduce("cg_calc_w")
+
+    def cg_calc_ur(self, alpha: float) -> float:
+        return self._allreduce("cg_calc_ur", alpha)
+
+    def cg_calc_p(self, beta: float) -> None:
+        self._all("cg_calc_p", beta)
+
+    def ppcg_calc_p(self, beta: float) -> None:
+        self._all("ppcg_calc_p", beta)
+
+    def cg_precon_jacobi(self) -> None:
+        self._all("cg_precon_jacobi")
+
+    def cheby_init(self, theta: float) -> None:
+        self._all("cheby_init", theta)
+
+    def cheby_iterate(self, alpha: float, beta: float) -> None:
+        self._all("cheby_iterate", alpha, beta)
+
+    def ppcg_precon_init(self, theta: float) -> None:
+        self._all("ppcg_precon_init", theta)
+
+    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
+        self._all("ppcg_precon_inner", alpha, beta)
+
+    def jacobi_iterate(self) -> float:
+        return self._allreduce("jacobi_iterate")
+
+    def norm2_field(self, name: str) -> float:
+        return self._allreduce("norm2_field", name)
+
+    def dot_fields(self, a: str, b: str) -> float:
+        return self._allreduce("dot_fields", a, b)
+
+    def copy_field(self, src: str, dst: str) -> None:
+        self._all("copy_field", src, dst)
+
+    def tea_leaf_finalise(self) -> None:
+        self._all("tea_leaf_finalise")
+
+    def field_summary(self) -> tuple[float, float, float, float]:
+        partials = [port.field_summary() for port in self.ports]
+        totals = []
+        for component in range(4):
+            totals.append(
+                self.world.allreduce_sum([p[component] for p in partials])
+            )
+        return tuple(totals)  # type: ignore[return-value]

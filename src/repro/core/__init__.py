@@ -1,0 +1,31 @@
+"""TeaLeaf core: grid, fields, input decks, kernels, solvers, and driver.
+
+This package is a complete, numerically real reimplementation of the 2-D
+TeaLeaf heat-conduction mini-app evaluated by Martineau et al. (PMAM'16).
+It solves the linear heat conduction equation implicitly on a structured
+grid with face-centred diffusion coefficients derived from cell-average
+densities, using a 5-point stencil and one of four iterative solvers
+(CG, Chebyshev, PPCG, Jacobi).
+"""
+
+from repro.core.grid import Grid2D, HALO_DEPTH
+from repro.core.deck import Deck, parse_deck, parse_deck_file, default_deck
+from repro.core.state import State, Geometry, generate_chunk
+from repro.core.chunk import Chunk
+from repro.core.driver import TeaLeaf, StepResult, FieldSummary
+
+__all__ = [
+    "Grid2D",
+    "HALO_DEPTH",
+    "Deck",
+    "parse_deck",
+    "parse_deck_file",
+    "default_deck",
+    "State",
+    "Geometry",
+    "generate_chunk",
+    "Chunk",
+    "TeaLeaf",
+    "StepResult",
+    "FieldSummary",
+]

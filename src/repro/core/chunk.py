@@ -1,0 +1,55 @@
+"""A chunk: one rank's rectangular piece of the global mesh plus its state.
+
+In the reference app every MPI rank owns one chunk.  Here chunks carry the
+generated initial condition and the window coordinates of the piece within
+the global grid, which is everything the communicator substrate needs to
+pack/unpack halos between neighbouring chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import Grid2D
+
+
+@dataclass
+class Chunk:
+    """One rectangular subdomain of the global problem.
+
+    Attributes
+    ----------
+    grid:
+        Local geometry (with its own halos).
+    x0, y0:
+        Global cell index of this chunk's first interior cell.
+    density, energy0:
+        Generated initial condition on the local grid.
+    """
+
+    grid: Grid2D
+    x0: int
+    y0: int
+    density: np.ndarray
+    energy0: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.density.shape != self.grid.shape:
+            raise ValueError(
+                f"density shape {self.density.shape} != grid shape {self.grid.shape}"
+            )
+        if self.energy0.shape != self.grid.shape:
+            raise ValueError(
+                f"energy0 shape {self.energy0.shape} != grid shape {self.grid.shape}"
+            )
+
+    @property
+    def x1(self) -> int:
+        """One past this chunk's last global x cell index."""
+        return self.x0 + self.grid.nx
+
+    @property
+    def y1(self) -> int:
+        return self.y0 + self.grid.ny

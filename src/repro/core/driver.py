@@ -1,0 +1,204 @@
+"""The TeaLeaf application driver: the timestep loop.
+
+Mirrors the reference app's ``diffuse`` loop: for each timestep,
+
+1. ``set_field`` — copy energy0 into the advancing energy field;
+2. enter the solve data region (offload models keep everything resident
+   for the whole solve, the paper's "highest possible scope" placement);
+3. ``tea_leaf_init`` — build u, u0 and the face coefficients;
+4. run the configured solver to convergence;
+5. ``tea_leaf_finalise`` — recover energy from u;
+6. leave the data region and (periodically) print a field summary.
+
+TeaLeaf has no hydrodynamics, so the timestep is constant and state only
+changes through conduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import fields as F
+from repro.core.deck import Deck
+from typing import TYPE_CHECKING
+
+from repro.core.solvers import Solver, SolveResult, make_solver
+from repro.core.state import generate_chunk
+from repro.util.timing import TimerRegistry
+
+if TYPE_CHECKING:  # avoid a core <-> models import cycle
+    from repro.models.base import Port
+    from repro.models.tracing import Trace
+
+
+@dataclass(frozen=True)
+class FieldSummary:
+    """Interior totals printed by the reference ``field_summary`` kernel."""
+
+    volume: float
+    mass: float
+    internal_energy: float
+    temperature: float
+
+
+@dataclass
+class StepResult:
+    """Everything measured for one timestep."""
+
+    step: int
+    sim_time: float
+    dt: float
+    solve: SolveResult
+    wall_seconds: float
+    summary: FieldSummary | None = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full deck run."""
+
+    deck: Deck
+    model: str
+    steps: list[StepResult]
+    wall_seconds: float
+    trace: Trace
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.solve.iterations for s in self.steps)
+
+    @property
+    def total_inner_iterations(self) -> int:
+        return sum(s.solve.inner_iterations for s in self.steps)
+
+    @property
+    def final_summary(self) -> FieldSummary | None:
+        for s in reversed(self.steps):
+            if s.summary is not None:
+                return s.summary
+        return None
+
+    def iterations_per_step(self) -> list[int]:
+        return [s.solve.iterations for s in self.steps]
+
+
+class TeaLeaf:
+    """One TeaLeaf run: a deck, a programming-model port, a solver."""
+
+    def __init__(
+        self,
+        deck: Deck,
+        model: str = "openmp-f90",
+        trace: Trace | None = None,
+        port: Port | None = None,
+        visit_dir: str | None = None,
+    ) -> None:
+        # Imported here rather than at module scope: the models package
+        # imports repro.core, so a top-level import would be circular.
+        from repro.models.base import make_port
+        from repro.models.tracing import Trace
+
+        self.deck = deck
+        self.grid = deck.grid()
+        self.trace = trace if trace is not None else Trace()
+        self.model = model if port is None else port.model_name
+        self.port = port if port is not None else make_port(model, self.grid, self.trace)
+        self.solver: Solver = make_solver(deck.solver)
+        self.timers = TimerRegistry()
+        self.step_count = 0
+        self.sim_time = 0.0
+        #: Directory for visit_frequency VTK dumps (default: cwd).
+        self.visit_dir = visit_dir
+
+        density, energy0 = generate_chunk(list(deck.states), self.grid)
+        with self.trace.section("init"):
+            self.port.set_state(density, energy0)
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> StepResult:
+        """Advance one timestep, returning its measurements."""
+        self.step_count += 1
+        dt = self.deck.initial_timestep
+        t0 = time.perf_counter()
+
+        with self.timers["solve"], self.trace.section("solve"), self.trace.section(
+            self.deck.solver
+        ):
+            self.port.set_field()
+            self.port.begin_solve()
+            self.port.tea_leaf_init(dt, self.deck.tl_coefficient)
+            self.port.update_halo((F.U,), depth=self.grid.halo)
+            solve = self.solver.solve(self.port, self.deck)
+            self.port.tea_leaf_finalise()
+            self.port.end_solve()
+
+        self.sim_time += dt
+        wall = time.perf_counter() - t0
+
+        summary = None
+        want_summary = (
+            self.step_count % self.deck.summary_frequency == 0
+            or self.step_count == self.deck.end_step
+        )
+        if want_summary:
+            with self.timers["summary"], self.trace.section("summary"):
+                summary = FieldSummary(*self.port.field_summary())
+
+        if (
+            self.deck.visit_frequency
+            and self.step_count % self.deck.visit_frequency == 0
+        ):
+            self._write_visit_file()
+
+        return StepResult(
+            step=self.step_count,
+            sim_time=self.sim_time,
+            dt=dt,
+            solve=solve,
+            wall_seconds=wall,
+            summary=summary,
+        )
+
+    def _write_visit_file(self) -> None:
+        """Dump the state fields as VTK, like the reference visit output."""
+        from pathlib import Path
+
+        from repro.core.output import write_vtk
+
+        base = Path(self.visit_dir) if self.visit_dir else Path(".")
+        base.mkdir(parents=True, exist_ok=True)
+        write_vtk(
+            base / f"tea.{self.step_count:04d}.vtk",
+            self.grid,
+            {
+                F.DENSITY: self.port.read_field(F.DENSITY),
+                F.ENERGY1: self.port.read_field(F.ENERGY1),
+                F.U: self.port.read_field(F.U),
+            },
+            title=f"tealeaf step {self.step_count} t={self.sim_time:.5f}",
+        )
+
+    def run(self) -> RunResult:
+        """Run the deck to ``end_step`` (or ``end_time``, whichever first)."""
+        t0 = time.perf_counter()
+        steps: list[StepResult] = []
+        while (
+            self.step_count < self.deck.end_step
+            and self.sim_time < self.deck.end_time
+        ):
+            steps.append(self.step())
+        return RunResult(
+            deck=self.deck,
+            model=self.model,
+            steps=steps,
+            wall_seconds=time.perf_counter() - t0,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    def field(self, name: str) -> np.ndarray:
+        """Host copy of a field (delegates to the port)."""
+        return self.port.read_field(name)

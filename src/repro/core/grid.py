@@ -1,0 +1,154 @@
+"""Structured 2-D grid geometry with halo (ghost) cells.
+
+TeaLeaf operates on a uniform rectangular mesh of ``nx`` x ``ny`` cells.
+Every field array carries ``HALO_DEPTH`` ghost layers on each side so that
+stencil kernels and the (simulated) MPI halo exchange can operate without
+special-casing the physical boundary.
+
+Array convention
+----------------
+Field arrays have shape ``(ny + 2h, nx + 2h)`` and are indexed ``[k, j]``
+with ``k`` the y (row) index and ``j`` the x (column) index, C-contiguous
+along x.  This mirrors the Fortran ``u(j, k)`` layout transposed into
+row-major storage so that inner-loop access is unit stride, as all the
+paper's ports arrange.
+
+Face-coefficient arrays (``kx``, ``ky``) share the same shape; ``kx[k, j]``
+holds the coefficient of the face between cells ``j-1`` and ``j`` in row
+``k`` (and symmetrically for ``ky``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Ghost-layer depth used by TeaLeaf (depth-2 halos are required by the
+#: PPCG inner smoother and by matching the reference app's exchange logic).
+HALO_DEPTH = 2
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """Geometry of a structured 2-D mesh (without fields).
+
+    Parameters
+    ----------
+    nx, ny:
+        Interior cell counts in x and y.
+    xmin, xmax, ymin, ymax:
+        Physical extent of the domain.
+    halo:
+        Ghost-cell depth on every side.
+    """
+
+    nx: int
+    ny: int
+    xmin: float = 0.0
+    xmax: float = 10.0
+    ymin: float = 0.0
+    ymax: float = 10.0
+    halo: int = HALO_DEPTH
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError(f"grid must have >=1 cell per axis, got {self.nx}x{self.ny}")
+        if self.halo < 1:
+            raise ValueError(f"halo depth must be >=1, got {self.halo}")
+        if not (self.xmax > self.xmin and self.ymax > self.ymin):
+            raise ValueError("domain extents must be strictly increasing")
+
+    # ------------------------------------------------------------------ #
+    # sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def dx(self) -> float:
+        """Cell width."""
+        return (self.xmax - self.xmin) / self.nx
+
+    @property
+    def dy(self) -> float:
+        """Cell height."""
+        return (self.ymax - self.ymin) / self.ny
+
+    @property
+    def cells(self) -> int:
+        """Number of interior cells."""
+        return self.nx * self.ny
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Allocated array shape ``(ny + 2h, nx + 2h)`` including halos."""
+        return (self.ny + 2 * self.halo, self.nx + 2 * self.halo)
+
+    @property
+    def cell_volume(self) -> float:
+        """Area of one cell (TeaLeaf calls this 'volume' in 2-D)."""
+        return self.dx * self.dy
+
+    # ------------------------------------------------------------------ #
+    # slicing helpers
+    # ------------------------------------------------------------------ #
+    def inner(self, expand: int = 0) -> tuple[slice, slice]:
+        """Slices selecting the interior, optionally expanded into the halo.
+
+        ``expand=0`` selects exactly the ``ny x nx`` interior;
+        ``expand=d`` grows the selection by ``d`` ghost layers on each side
+        (``d`` must not exceed the halo depth).
+        """
+        if expand < 0 or expand > self.halo:
+            raise ValueError(f"expand must be in [0, {self.halo}], got {expand}")
+        h = self.halo - expand
+        return (slice(h, -h if h else None), slice(h, -h if h else None))
+
+    def allocate(self, fill: float = 0.0) -> np.ndarray:
+        """Allocate a float64 field array (interior + halos) filled with ``fill``."""
+        return np.full(self.shape, fill, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # coordinates
+    # ------------------------------------------------------------------ #
+    def cell_centres_x(self) -> np.ndarray:
+        """x coordinates of cell centres for every column, including halos."""
+        j = np.arange(-self.halo, self.nx + self.halo, dtype=np.float64)
+        return self.xmin + (j + 0.5) * self.dx
+
+    def cell_centres_y(self) -> np.ndarray:
+        """y coordinates of cell centres for every row, including halos."""
+        k = np.arange(-self.halo, self.ny + self.halo, dtype=np.float64)
+        return self.ymin + (k + 0.5) * self.dy
+
+    def vertex_x(self) -> np.ndarray:
+        """x coordinates of cell vertices (one more than columns)."""
+        j = np.arange(-self.halo, self.nx + self.halo + 1, dtype=np.float64)
+        return self.xmin + j * self.dx
+
+    def vertex_y(self) -> np.ndarray:
+        """y coordinates of cell vertices (one more than rows)."""
+        k = np.arange(-self.halo, self.ny + self.halo + 1, dtype=np.float64)
+        return self.ymin + k * self.dy
+
+    # ------------------------------------------------------------------ #
+    # sub-grids (for domain decomposition)
+    # ------------------------------------------------------------------ #
+    def subgrid(self, x0: int, x1: int, y0: int, y1: int) -> "Grid2D":
+        """Geometry of the cell-index window ``[x0, x1) x [y0, y1)``.
+
+        Used by :mod:`repro.comm.decomposition` to carve per-rank chunks; the
+        sub-grid's physical extents line up exactly with the parent's cell
+        boundaries, so stencil coefficients agree bit-for-bit.
+        """
+        if not (0 <= x0 < x1 <= self.nx and 0 <= y0 < y1 <= self.ny):
+            raise ValueError(
+                f"window [{x0},{x1})x[{y0},{y1}) outside grid {self.nx}x{self.ny}"
+            )
+        return Grid2D(
+            nx=x1 - x0,
+            ny=y1 - y0,
+            xmin=self.xmin + x0 * self.dx,
+            xmax=self.xmin + x1 * self.dx,
+            ymin=self.ymin + y0 * self.dy,
+            ymax=self.ymin + y1 * self.dy,
+            halo=self.halo,
+        )

@@ -1,0 +1,308 @@
+"""The model-neutral TeaLeaf kernel set and its traffic footprints.
+
+Every programming-model port implements exactly these kernels (paper §3:
+"TeaLeaf's core solver logic and parameters were kept consistent between
+ports").  The registry records, for each kernel, the *streaming* memory
+traffic per interior cell in units of float64 loads/stores — i.e. the number
+of whole-array passes a bandwidth-bound device performs, counting each
+array touched once and assuming stencil neighbour reuse hits in cache.
+This is the standard accounting used for STREAM-relative bandwidth figures
+such as the paper's Figure 12.
+
+The footprints feed :mod:`repro.models.tracing`, which converts kernel
+launches into byte counts, which :mod:`repro.machine.perfmodel` converts
+into simulated device seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.units import DOUBLE
+
+
+class KernelClass(Enum):
+    """Coarse kernel taxonomy used by the performance model."""
+
+    #: 5-point stencil sweep (matrix-vector style).
+    STENCIL = "stencil"
+    #: Streaming element-wise vector update (axpy-like).
+    BLAS1 = "blas1"
+    #: Whole-field initialisation / state generation.
+    INIT = "init"
+    #: Field summary / diagnostic reduction.
+    SUMMARY = "summary"
+    #: Halo pack/unpack or boundary reflection (edge traffic only).
+    HALO = "halo"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of one TeaLeaf kernel.
+
+    Attributes
+    ----------
+    reads / writes:
+        Whole-array streaming passes per interior cell, in doubles.
+    flops:
+        Floating-point operations per interior cell (for roofline checks).
+    has_reduction:
+        Whether the kernel ends in a global reduction (dot product or
+        multi-variable summary) — reductions pay an extra device-dependent
+        latency in the performance model, and on GPUs require a second
+        pass kernel (paper §3.5, §3.6).
+    """
+
+    name: str
+    cls: KernelClass
+    reads: int
+    writes: int
+    flops: int
+    has_reduction: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0 or self.flops < 0:
+            raise ValueError(f"kernel {self.name}: negative footprint")
+        if self.reads + self.writes == 0:
+            raise ValueError(f"kernel {self.name}: touches no memory")
+
+    @property
+    def doubles_per_cell(self) -> int:
+        """Total doubles moved per interior cell."""
+        return self.reads + self.writes
+
+    def bytes_for(self, cells: int) -> int:
+        """Streaming bytes moved when run over ``cells`` interior cells."""
+        return self.doubles_per_cell * DOUBLE * cells
+
+
+_spec = KernelSpec
+
+
+#: The TeaLeaf kernel set.  Footprints follow the reference implementation's
+#: array accesses; see each kernel's description for the arrays it touches.
+KERNELS: dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec(
+            "initialise_chunk",
+            KernelClass.INIT,
+            reads=0,
+            writes=2,
+            flops=4,
+            description="cell coordinate / volume setup",
+        ),
+        _spec(
+            "generate_chunk",
+            KernelClass.INIT,
+            reads=0,
+            writes=2,
+            flops=2,
+            description="paint density/energy states onto the mesh",
+        ),
+        _spec(
+            "set_field",
+            KernelClass.BLAS1,
+            reads=1,
+            writes=1,
+            flops=0,
+            description="energy1 = energy0",
+        ),
+        _spec(
+            "tea_leaf_init",
+            KernelClass.STENCIL,
+            reads=3,
+            writes=5,
+            flops=12,
+            description="u = energy*density; u0 = u; build kx, ky from density",
+        ),
+        _spec(
+            "tea_leaf_residual",
+            KernelClass.STENCIL,
+            reads=4,
+            writes=1,
+            flops=13,
+            description="r = u0 - A u (streams u0, u, kx, ky; writes r)",
+        ),
+        _spec(
+            "cg_init",
+            KernelClass.STENCIL,
+            reads=4,
+            writes=3,
+            flops=16,
+            has_reduction=True,
+            description="w = A u; r = u0 - w; p = r; rro = r.r",
+        ),
+        _spec(
+            "cg_calc_w",
+            KernelClass.STENCIL,
+            reads=3,
+            writes=1,
+            flops=15,
+            has_reduction=True,
+            description="w = A p; pw = p.w (streams p, kx, ky; writes w)",
+        ),
+        _spec(
+            "cg_calc_ur",
+            KernelClass.BLAS1,
+            reads=4,
+            writes=2,
+            flops=6,
+            has_reduction=True,
+            description="u += alpha p; r -= alpha w; rrn = r.r",
+        ),
+        _spec(
+            "cg_calc_p",
+            KernelClass.BLAS1,
+            reads=2,
+            writes=1,
+            flops=2,
+            description="p = r + beta p",
+        ),
+        _spec(
+            "cheby_init",
+            KernelClass.STENCIL,
+            reads=5,
+            writes=3,
+            flops=16,
+            description="r = u0 - A u; sd = r/theta; u += sd",
+        ),
+        _spec(
+            "cheby_iterate",
+            KernelClass.STENCIL,
+            reads=5,
+            writes=3,
+            flops=18,
+            description="r -= A sd; sd = alpha sd + beta r; u += sd",
+        ),
+        _spec(
+            "ppcg_precon_init",
+            KernelClass.BLAS1,
+            reads=1,
+            writes=3,
+            flops=1,
+            description="w = r; sd = w/theta; z = sd",
+        ),
+        _spec(
+            "cg_precon",
+            KernelClass.BLAS1,
+            reads=3,
+            writes=1,
+            flops=7,
+            description="z = r / diag(A): the jac_diag preconditioner apply",
+        ),
+        _spec(
+            "jacobi_iterate",
+            KernelClass.STENCIL,
+            reads=4,
+            writes=1,
+            flops=14,
+            has_reduction=True,
+            description="u = (u0 + k.neighbours(r)) / diag; error = sum|u - r|",
+        ),
+        _spec(
+            "ppcg_inner",
+            KernelClass.STENCIL,
+            reads=5,
+            writes=3,
+            flops=18,
+            description="r -= A sd; sd = alpha sd + beta r; z += sd",
+        ),
+        _spec(
+            "dot_product",
+            KernelClass.SUMMARY,
+            reads=2,
+            writes=0,
+            flops=2,
+            has_reduction=True,
+            description="global dot product of two fields",
+        ),
+        _spec(
+            "norm2",
+            KernelClass.SUMMARY,
+            reads=1,
+            writes=0,
+            flops=2,
+            has_reduction=True,
+            description="global squared 2-norm of one field",
+        ),
+        _spec(
+            "copy_field",
+            KernelClass.BLAS1,
+            reads=1,
+            writes=1,
+            flops=0,
+            description="generic whole-field copy",
+        ),
+        _spec(
+            "tea_leaf_finalise",
+            KernelClass.BLAS1,
+            reads=2,
+            writes=1,
+            flops=1,
+            description="energy1 = u / density",
+        ),
+        _spec(
+            "field_summary",
+            KernelClass.SUMMARY,
+            reads=3,
+            writes=0,
+            flops=8,
+            has_reduction=True,
+            description="volume/mass/internal-energy/temperature totals",
+        ),
+        _spec(
+            "halo_update",
+            KernelClass.HALO,
+            reads=1,
+            writes=1,
+            flops=0,
+            description="reflective boundary + neighbour halo refresh (edge cells only)",
+        ),
+        _spec(
+            "halo_pack",
+            KernelClass.HALO,
+            reads=1,
+            writes=1,
+            flops=0,
+            description="pack one edge strip into a comm buffer",
+        ),
+        _spec(
+            "halo_unpack",
+            KernelClass.HALO,
+            reads=1,
+            writes=1,
+            flops=0,
+            description="unpack one comm buffer into an edge strip",
+        ),
+        # STREAM benchmark kernels (Table 2 / Figure 12 anchor).
+        _spec("stream_copy", KernelClass.BLAS1, reads=1, writes=1, flops=0),
+        _spec("stream_scale", KernelClass.BLAS1, reads=1, writes=1, flops=1),
+        _spec("stream_add", KernelClass.BLAS1, reads=2, writes=1, flops=1),
+        _spec("stream_triad", KernelClass.BLAS1, reads=2, writes=1, flops=2),
+    ]
+}
+
+
+def kernel(name: str) -> KernelSpec:
+    """Look up a kernel spec, raising ``KeyError`` with suggestions."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        close = ", ".join(k for k in KERNELS if name.split("_")[0] in k)
+        raise KeyError(f"unknown kernel '{name}' (similar: {close or 'none'})") from None
+
+
+#: Kernels making up one iteration of each solver (used by the performance
+#: projection to build per-iteration traces without running 4096^2 meshes).
+SOLVER_ITERATION_KERNELS: dict[str, tuple[str, ...]] = {
+    "jacobi": ("copy_field", "jacobi_iterate"),
+    "cg": ("cg_calc_w", "cg_calc_ur", "cg_calc_p"),
+    "chebyshev": ("cheby_iterate",),
+    # PPCG additionally runs `tl_ppcg_inner_steps` ppcg_inner kernels and a
+    # dot_product per outer iteration; the projection uses measured traces,
+    # so this static view is documentation rather than the source of truth.
+    "ppcg": ("cg_calc_w", "cg_calc_ur", "ppcg_precon_init", "dot_product", "cg_calc_p"),
+}

@@ -1,0 +1,215 @@
+"""Reference NumPy implementations of the TeaLeaf stencil mathematics.
+
+These routines are the numerical ground truth for the whole repository:
+every programming-model port must reproduce them bit-for-bit (the ports are
+tested pairwise against this module).  They are written as vectorised,
+in-place NumPy following the reference Fortran kernels.
+
+Operator definition
+-------------------
+TeaLeaf advances the heat conduction equation implicitly:
+
+.. math::  (I - \\Delta t\\, \\nabla\\cdot D \\nabla)\\, u^{n+1} = u^{n}
+
+discretised with a 5-point stencil and face-centred conduction
+coefficients.  With ``rx = dt/dx^2`` (folded into ``kx``) and ``ry``
+(folded into ``ky``), the matrix application at interior cell ``(k, j)``
+is::
+
+    A u = (1 + kx[k,j+1] + kx[k,j] + ky[k+1,j] + ky[k,j]) * u[k,j]
+        -  (kx[k,j+1] * u[k,j+1] + kx[k,j] * u[k,j-1])
+        -  (ky[k+1,j] * u[k+1,j] + ky[k,j] * u[k-1,j])
+
+Face coefficients are the harmonic-mean form of the reference code,
+``kx[k,j] = (w[k,j-1] + w[k,j]) / (2 w[k,j-1] w[k,j])`` where ``w`` is the
+conduction coefficient field (density, or its reciprocal).  Coefficients on
+physical-boundary faces are zeroed, which realises the reflective
+(zero-flux) boundary condition without reading ghost values, making matvec
+results independent of halo contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import Grid2D
+
+#: Deck keyword -> conduction coefficient from density.
+CONDUCTIVITY = "conductivity"
+RECIP_CONDUCTIVITY = "recip_conductivity"
+
+
+def _interior(a: np.ndarray, h: int) -> np.ndarray:
+    return a[h:-h, h:-h]
+
+
+def _shift(a: np.ndarray, h: int, dk: int, dj: int) -> np.ndarray:
+    """Interior-shaped view of ``a`` shifted by (dk, dj)."""
+    ny, nx = a.shape[0] - 2 * h, a.shape[1] - 2 * h
+    return a[h + dk : h + dk + ny, h + dj : h + dj + nx]
+
+
+def compute_u(density: np.ndarray, energy: np.ndarray, out: np.ndarray) -> None:
+    """u = energy * density, over the whole allocation (halos included)."""
+    np.multiply(energy, density, out=out)
+
+
+def conduction_coefficient(density: np.ndarray, coefficient: str) -> np.ndarray:
+    """The cell-centred conduction field ``w`` from density."""
+    if coefficient == CONDUCTIVITY:
+        return density.copy()
+    if coefficient == RECIP_CONDUCTIVITY:
+        return 1.0 / density
+    raise ValueError(f"unknown coefficient '{coefficient}'")
+
+
+def init_coefficients(
+    density: np.ndarray,
+    grid: Grid2D,
+    dt: float,
+    coefficient: str,
+    kx: np.ndarray,
+    ky: np.ndarray,
+) -> None:
+    """Build the face coefficient fields ``kx``, ``ky`` (rx/ry folded in).
+
+    Physical-boundary faces are zeroed (reflective, zero-flux boundary).
+    """
+    h = grid.halo
+    rx = dt / (grid.dx * grid.dx)
+    ry = dt / (grid.dy * grid.dy)
+    w = conduction_coefficient(density, coefficient)
+
+    kx.fill(0.0)
+    ky.fill(0.0)
+    # Face between columns j-1 and j lives at index j.
+    kx[:, 1:] = (w[:, :-1] + w[:, 1:]) / (2.0 * w[:, :-1] * w[:, 1:]) * rx
+    ky[1:, :] = (w[:-1, :] + w[1:, :]) / (2.0 * w[:-1, :] * w[1:, :]) * ry
+
+    # Zero coefficients on and outside the physical boundary faces.  Interior
+    # x-faces have indices h+1 .. h+nx-1; faces h and h+nx are the walls.
+    kx[:, : h + 1] = 0.0
+    kx[:, h + grid.nx :] = 0.0
+    ky[: h + 1, :] = 0.0
+    ky[h + grid.ny :, :] = 0.0
+
+
+def apply_matrix(
+    u: np.ndarray,
+    kx: np.ndarray,
+    ky: np.ndarray,
+    h: int,
+    out: np.ndarray,
+) -> None:
+    """out[interior] = A u  (5-point implicit conduction operator)."""
+    uc = _interior(u, h)
+    kxc = _interior(kx, h)
+    kxe = _shift(kx, h, 0, 1)
+    kyc = _interior(ky, h)
+    kyn = _shift(ky, h, 1, 0)
+    _interior(out, h)[...] = (
+        (1.0 + kxe + kxc + kyn + kyc) * uc
+        - (kxe * _shift(u, h, 0, 1) + kxc * _shift(u, h, 0, -1))
+        - (kyn * _shift(u, h, 1, 0) + kyc * _shift(u, h, -1, 0))
+    )
+
+
+def residual(
+    u0: np.ndarray,
+    u: np.ndarray,
+    kx: np.ndarray,
+    ky: np.ndarray,
+    h: int,
+    out: np.ndarray,
+) -> None:
+    """out[interior] = u0 - A u."""
+    apply_matrix(u, kx, ky, h, out)
+    np.subtract(_interior(u0, h), _interior(out, h), out=_interior(out, h))
+
+
+def dot(a: np.ndarray, b: np.ndarray, h: int) -> float:
+    """Interior dot product of two fields."""
+    return float(np.dot(_interior(a, h).ravel(), _interior(b, h).ravel()))
+
+
+def norm2(a: np.ndarray, h: int) -> float:
+    """Interior squared 2-norm."""
+    inner = _interior(a, h).ravel()
+    return float(np.dot(inner, inner))
+
+
+def reflective_halo_update(a: np.ndarray, h: int, depth: int) -> None:
+    """Mirror ``depth`` interior layers into the ghost cells on all sides.
+
+    This is the physical-boundary part of TeaLeaf's ``update_halo``; the
+    neighbour-exchange part lives in :mod:`repro.comm`.
+    """
+    if depth < 1 or depth > h:
+        raise ValueError(f"depth must be in [1, {h}], got {depth}")
+    ny, nx = a.shape[0] - 2 * h, a.shape[1] - 2 * h
+    for d in range(1, depth + 1):
+        # columns: ghost column (h-d) mirrors interior column (h+d-1)
+        a[:, h - d] = a[:, h + d - 1]
+        a[:, h + nx + d - 1] = a[:, h + nx - d]
+    for d in range(1, depth + 1):
+        a[h - d, :] = a[h + d - 1, :]
+        a[h + ny + d - 1, :] = a[h + ny - d, :]
+
+
+def assemble_sparse_matrix(kx: np.ndarray, ky: np.ndarray, grid: Grid2D):
+    """Assemble A as a ``scipy.sparse`` CSR matrix over the interior cells.
+
+    Used only by the test-suite to validate solvers against a direct sparse
+    solve; the library itself never forms A explicitly (TeaLeaf is
+    matrix-free).
+    """
+    import scipy.sparse as sp
+
+    h = grid.halo
+    ny, nx = grid.ny, grid.nx
+    kxc = _interior(kx, h)
+    kxe = _shift(kx, h, 0, 1)
+    kyc = _interior(ky, h)
+    kyn = _shift(ky, h, 1, 0)
+
+    diag = (1.0 + kxe + kxc + kyn + kyc).ravel()
+    east = -kxe.ravel()
+    west = -kxc.ravel()
+    north = -kyn.ravel()
+    south = -kyc.ravel()
+
+    n = nx * ny
+    offsets = [0, 1, -1, nx, -nx]
+    # scipy's dia format reads diagonal k from data[k] starting at column k,
+    # so shift the bands accordingly.
+    data = np.zeros((5, n))
+    data[0] = diag
+    data[1, 1:] = east[:-1]
+    data[2, :-1] = west[1:]
+    data[3, nx:] = north[:-nx]
+    data[4, :-nx] = south[nx:]
+    return sp.dia_matrix((data, offsets), shape=(n, n)).tocsr()
+
+
+def field_summary(
+    density: np.ndarray,
+    energy: np.ndarray,
+    u: np.ndarray,
+    grid: Grid2D,
+) -> tuple[float, float, float, float]:
+    """Totals of (volume, mass, internal energy, temperature) over interior.
+
+    Matches the reference ``field_summary`` kernel: cell volume is uniform,
+    mass = volume*density, ie = mass*energy, temp = volume*u.
+    """
+    h = grid.halo
+    vol = grid.cell_volume
+    d = _interior(density, h)
+    e = _interior(energy, h)
+    uu = _interior(u, h)
+    cells = grid.cells
+    volume = vol * cells
+    mass = vol * float(d.sum())
+    ie = vol * float((d * e).sum())
+    temp = vol * float(uu.sum())
+    return volume, mass, ie, temp

@@ -1,0 +1,107 @@
+"""Field output: legacy-VTK and CSV dumps.
+
+The reference TeaLeaf writes VisIt-compatible .vtk files at
+``visit_frequency`` intervals.  This module provides the equivalent for
+the reproduction: interior cell data as legacy VTK STRUCTURED_POINTS
+(loadable by ParaView/VisIt) or CSV for quick plotting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.grid import Grid2D
+from repro.util.errors import ReproError
+
+
+def write_vtk(
+    path: str | Path,
+    grid: Grid2D,
+    fields: Mapping[str, np.ndarray],
+    title: str = "tealeaf",
+) -> Path:
+    """Write interior cell data as a legacy VTK structured-points file.
+
+    ``fields`` maps names to full (halo-inclusive) arrays; only the
+    interior is written, as the reference app does.
+    """
+    if not fields:
+        raise ReproError("no fields to write")
+    for name, array in fields.items():
+        if array.shape != grid.shape:
+            raise ReproError(
+                f"field '{name}' shape {array.shape} != grid shape {grid.shape}"
+            )
+    out = Path(path)
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET STRUCTURED_POINTS",
+        f"DIMENSIONS {grid.nx} {grid.ny} 1",
+        f"ORIGIN {grid.xmin + grid.dx / 2} {grid.ymin + grid.dy / 2} 0.0",
+        f"SPACING {grid.dx} {grid.dy} 1.0",
+        f"POINT_DATA {grid.cells}",
+    ]
+    inner = grid.inner()
+    for name, array in fields.items():
+        lines.append(f"SCALARS {name} double 1")
+        lines.append("LOOKUP_TABLE default")
+        values = array[inner].ravel()  # C order: x fastest, matching VTK
+        lines.extend(f"{v:.12e}" for v in values)
+    out.write_text("\n".join(lines) + "\n")
+    return out
+
+
+def write_csv(
+    path: str | Path,
+    grid: Grid2D,
+    fields: Mapping[str, np.ndarray],
+) -> Path:
+    """Write interior cell data as CSV: x, y, <field columns>."""
+    if not fields:
+        raise ReproError("no fields to write")
+    out = Path(path)
+    names = list(fields)
+    cx = grid.cell_centres_x()[grid.halo : grid.halo + grid.nx]
+    cy = grid.cell_centres_y()[grid.halo : grid.halo + grid.ny]
+    inner = grid.inner()
+    columns = [fields[name][inner] for name in names]
+    for name, col in zip(names, columns):
+        if col.shape != (grid.ny, grid.nx):
+            raise ReproError(f"field '{name}' has wrong interior shape")
+    with out.open("w") as fh:
+        fh.write("x,y," + ",".join(names) + "\n")
+        for k in range(grid.ny):
+            for j in range(grid.nx):
+                values = ",".join(f"{col[k, j]:.12e}" for col in columns)
+                fh.write(f"{cx[j]:.6f},{cy[k]:.6f},{values}\n")
+    return out
+
+
+def read_vtk_scalars(path: str | Path) -> dict[str, np.ndarray]:
+    """Parse scalars back out of a legacy VTK file (for round-trip tests)."""
+    lines = Path(path).read_text().splitlines()
+    dims = None
+    fields: dict[str, np.ndarray] = {}
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("DIMENSIONS"):
+            _, nx, ny, _ = line.split()
+            dims = (int(ny), int(nx))
+        elif line.startswith("SCALARS"):
+            name = line.split()[1]
+            count = dims[0] * dims[1]
+            values = np.array(
+                [float(v) for v in lines[i + 2 : i + 2 + count]]
+            ).reshape(dims)
+            fields[name] = values
+            i += 1 + count
+        i += 1
+    if dims is None:
+        raise ReproError(f"{path} is not a structured-points VTK file")
+    return fields

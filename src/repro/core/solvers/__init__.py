@@ -1,0 +1,61 @@
+"""TeaLeaf's iterative sparse solvers.
+
+The paper evaluates three solvers over the 5-point implicit conduction
+matrix — Conjugate Gradient (CG), Chebyshev, and Chebyshev Polynomially
+Preconditioned CG (PPCG) [Boulton & McIntosh-Smith 2014] — all driven
+purely through the :class:`repro.models.base.Port` kernel interface so that
+every programming-model port runs byte-identical solver logic.  A Jacobi
+solver (present in the reference app) is included as a slow ground-truth.
+"""
+
+from repro.core.solvers.base import Solver, SolveResult
+from repro.core.solvers.cg import CGSolver
+from repro.core.solvers.cheby import ChebyshevSolver
+from repro.core.solvers.ppcg import PPCGSolver
+from repro.core.solvers.jacobi import JacobiSolver
+from repro.core.solvers.explicit import ExplicitSolver
+from repro.core.solvers.eigenvalue import (
+    EigenEstimate,
+    estimate_eigenvalues,
+    estimate_chebyshev_iterations,
+)
+
+_SOLVERS = {
+    "cg": CGSolver,
+    "chebyshev": ChebyshevSolver,
+    "ppcg": PPCGSolver,
+    "jacobi": JacobiSolver,
+    # Extension (not evaluated by the paper): the explicit scheme the
+    # intro argues against, kept to demonstrate its 1/dx^2 constraint.
+    "explicit": ExplicitSolver,
+}
+
+
+def make_solver(name: str) -> Solver:
+    """Instantiate a solver by its deck name."""
+    try:
+        return _SOLVERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown solver '{name}'; available: {', '.join(sorted(_SOLVERS))}"
+        ) from None
+
+
+def solver_names() -> list[str]:
+    return sorted(_SOLVERS)
+
+
+__all__ = [
+    "Solver",
+    "SolveResult",
+    "CGSolver",
+    "ChebyshevSolver",
+    "PPCGSolver",
+    "JacobiSolver",
+    "ExplicitSolver",
+    "EigenEstimate",
+    "estimate_eigenvalues",
+    "estimate_chebyshev_iterations",
+    "make_solver",
+    "solver_names",
+]

@@ -1,0 +1,129 @@
+"""Solver base class, result record, and the shared CG iteration engine.
+
+All solvers share one convergence criterion (relative residual 2-norm) and,
+for Chebyshev/PPCG, the same CG-based Lanczos eigenvalue estimation phase —
+mirroring the reference TeaLeaf where the Chebyshev family bootstraps from
+CG iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core import fields as F
+from repro.core.deck import Deck
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a core <-> models import cycle
+    from repro.models.base import Port
+from repro.util.errors import ConvergenceError
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one implicit solve (one timestep)."""
+
+    solver: str
+    converged: bool
+    #: Outer iterations performed (CG iterations, Chebyshev iterations...).
+    iterations: int
+    #: Total inner/preconditioner iterations (PPCG inner Chebyshev steps).
+    inner_iterations: int
+    #: Final squared residual 2-norm.
+    error: float
+    #: Squared residual 2-norm at solve start.
+    initial_residual: float
+    #: Eigenvalue bounds used (Chebyshev/PPCG only).
+    eigen_min: float | None = None
+    eigen_max: float | None = None
+    #: CG step scalars, recorded when the solver runs a CG phase.
+    cg_alphas: list[float] = field(default_factory=list)
+    cg_betas: list[float] = field(default_factory=list)
+    #: (iteration, squared residual norm) samples: every iteration for the
+    #: CG family, every checkpoint for Chebyshev.
+    history: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def relative_residual(self) -> float:
+        """sqrt(error / initial_residual); 0 when the start was converged."""
+        if self.initial_residual == 0.0:
+            return 0.0
+        return math.sqrt(self.error / self.initial_residual)
+
+
+class Solver(ABC):
+    """One TeaLeaf solver algorithm, driven through the Port kernel set."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def solve(self, port: Port, deck: Deck) -> SolveResult:
+        """Advance ``u`` to the implicit solution of A u = u0."""
+
+    # ------------------------------------------------------------------ #
+    # shared machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _converged(rrn: float, rr0: float, eps: float) -> bool:
+        """Relative residual test: ||r|| <= eps * ||r0||.
+
+        An absolute floor of eps^2 guards the rr0 == 0 case (solving an
+        already-converged field).
+        """
+        if rr0 == 0.0:
+            return True
+        return rrn <= eps * eps * rr0
+
+    @staticmethod
+    def cg_iterations(
+        port: Port,
+        deck: Deck,
+        max_iters: int,
+        rro: float,
+        rr0: float,
+        result: SolveResult,
+    ) -> float:
+        """Run up to ``max_iters`` CG iterations; returns the final rro.
+
+        Records alphas/betas into ``result`` (consumed by the Lanczos
+        eigenvalue estimate) and updates ``result.iterations`` / ``.error``
+        / ``.converged`` in place.  The halo of the search direction is
+        refreshed before every matvec, as the reference app does under MPI.
+        """
+        for _ in range(max_iters):
+            port.update_halo((F.P,), depth=1)
+            pw = port.cg_calc_w()
+            if pw == 0.0:
+                # p = 0: the residual is exactly zero; we are converged.
+                result.converged = True
+                break
+            alpha = rro / pw
+            rrn = port.cg_calc_ur(alpha)
+            beta = rrn / rro
+            result.cg_alphas.append(alpha)
+            result.cg_betas.append(beta)
+            result.iterations += 1
+            result.error = rrn
+            result.history.append((result.iterations, rrn))
+            if Solver._converged(rrn, rr0, deck.tl_eps):
+                result.converged = True
+                rro = rrn
+                break
+            port.cg_calc_p(beta)
+            rro = rrn
+        return rro
+
+    @staticmethod
+    def require_convergence(result: SolveResult, deck: Deck) -> SolveResult:
+        """Raise :class:`ConvergenceError` when the budget was exhausted."""
+        if not result.converged:
+            raise ConvergenceError(
+                f"{result.solver} failed to converge in {result.iterations} "
+                f"iterations (relative residual {result.relative_residual:.3e}, "
+                f"eps {deck.tl_eps:.1e})",
+                iterations=result.iterations,
+                residual=math.sqrt(result.error),
+            )
+        return result

@@ -1,0 +1,100 @@
+"""Chebyshev solver.
+
+TeaLeaf's Chebyshev solver bootstraps with a short CG phase (which both
+makes real progress on ``u`` and yields the Lanczos Ritz values), then
+switches to the classic three-term Chebyshev semi-iteration over the
+estimated spectral interval (Saad, *Iterative Methods for Sparse Linear
+Systems*, alg. 12.1):
+
+.. math::
+
+    d_0 = r_0/\\theta, \\qquad
+    d_k = \\rho_k \\rho_{k-1}\\, d_{k-1} + \\frac{2\\rho_k}{\\delta} r_k,
+    \\qquad \\rho_k = (2\\sigma - \\rho_{k-1})^{-1}
+
+with ``u += d`` and the residual maintained incrementally
+(``r -= A d``).  Convergence is only *checked* every
+``tl_check_frequency`` iterations because the residual norm is a global
+reduction the pure Chebyshev loop otherwise never needs — this is why the
+solver maps so well onto offload models (one kernel per iteration), which
+is visible throughout the paper's Figures 8-10.
+"""
+
+from __future__ import annotations
+
+from repro.core import fields as F
+from repro.core.deck import Deck
+from repro.core.solvers.base import Solver, SolveResult
+from repro.core.solvers.eigenvalue import EigenEstimate, estimate_eigenvalues
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a core <-> models import cycle
+    from repro.models.base import Port
+
+
+class ChebyshevSolver(Solver):
+    name = "chebyshev"
+
+    def solve(self, port: Port, deck: Deck) -> SolveResult:
+        rro = port.cg_init()
+        result = SolveResult(
+            solver=self.name,
+            converged=False,
+            iterations=0,
+            inner_iterations=0,
+            error=rro,
+            initial_residual=rro,
+        )
+        rr0 = rro
+        if self._converged(rro, rr0, deck.tl_eps) or rro == 0.0:
+            result.converged = True
+            return result
+
+        # --- CG bootstrap phase: progress + Ritz values ----------------- #
+        rro = self.cg_iterations(port, deck, deck.tl_cg_eigen_steps, rro, rr0, result)
+        if result.converged:
+            return result
+        estimate = estimate_eigenvalues(result.cg_alphas, result.cg_betas)
+        result.eigen_min = estimate.eigen_min
+        result.eigen_max = estimate.eigen_max
+
+        # --- Chebyshev phase -------------------------------------------- #
+        self.chebyshev_iterations(port, deck, estimate, rr0, result)
+        return self.require_convergence(result, deck)
+
+    @staticmethod
+    def chebyshev_iterations(
+        port: Port,
+        deck: Deck,
+        estimate: EigenEstimate,
+        rr0: float,
+        result: SolveResult,
+    ) -> None:
+        """The pure Chebyshev loop (shared with tests and ablations)."""
+        theta, delta, sigma = estimate.theta, estimate.delta, estimate.sigma
+        port.update_halo((F.U,), depth=1)
+        port.cheby_init(theta)
+        result.iterations += 1
+        rho_old = 1.0 / sigma
+
+        remaining = deck.tl_max_iters - result.iterations
+        for it in range(remaining):
+            rho_new = 1.0 / (2.0 * sigma - rho_old)
+            alpha = rho_new * rho_old
+            beta = 2.0 * rho_new / delta
+            port.update_halo((F.SD,), depth=1)
+            port.cheby_iterate(alpha, beta)
+            rho_old = rho_new
+            result.iterations += 1
+            if (it + 1) % deck.tl_check_frequency == 0:
+                rrn = port.norm2_field(F.R)
+                result.error = rrn
+                result.history.append((result.iterations, rrn))
+                if Solver._converged(rrn, rr0, deck.tl_eps):
+                    result.converged = True
+                    return
+        # Final check so a solve that converged between checkpoints on its
+        # last iterations is not misreported.
+        rrn = port.norm2_field(F.R)
+        result.error = rrn
+        result.converged = Solver._converged(rrn, rr0, deck.tl_eps)

@@ -1,0 +1,28 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment produces an :class:`~repro.harness.runner.ExperimentResult`
+containing the regenerated rows/series, an ASCII rendering, and a list of
+checks asserting the paper's qualitative findings (who wins, by what
+factor, where crossovers fall).  ``python -m repro experiments`` runs them
+all and writes EXPERIMENTS.md.
+"""
+
+from repro.harness.runner import (
+    Check,
+    ExperimentResult,
+    run_experiment,
+    run_all,
+    experiment_ids,
+    write_experiments_md,
+)
+from repro.harness.experiments import EXPERIMENTS
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all",
+    "experiment_ids",
+    "write_experiments_md",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,62 @@
+"""Plain-text rendering of tables, bar charts and series.
+
+The paper's figures are bar charts (runtime per model/solver) and one line
+plot (runtime vs mesh size); these helpers render equivalent ASCII so the
+CLI and EXPERIMENTS.md can show the regenerated content directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Aligned monospace table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_barchart(
+    items: Sequence[tuple[str, float]],
+    width: int = 48,
+    unit: str = "s",
+) -> str:
+    """Horizontal ASCII bars, scaled to the longest value (lower is better)."""
+    if not items:
+        return "(no data)"
+    peak = max(v for _, v in items)
+    label_w = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(f"{label.ljust(label_w)}  {value:10.1f} {unit}  {bar}")
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    fmt: str = "{:10.2f}",
+) -> str:
+    """A line-plot's data as a column-per-series table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [fmt.format(series[name][i]) for name in series])
+    return render_table(headers, rows)
+
+
+def render_checks(checks) -> str:
+    """One line per check: PASS/FAIL plus detail."""
+    lines = []
+    for c in checks:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{status}] {c.name}: {c.detail}")
+    return "\n".join(lines) if lines else "(no checks)"

@@ -1,0 +1,54 @@
+"""Result records shared by the experiments and the runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Check:
+    """One qualitative assertion from the paper, verified or not."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated content of one table/figure plus its checks."""
+
+    experiment_id: str
+    title: str
+    description: str
+    rendered: str
+    checks: list[Check] = field(default_factory=list)
+    #: Structured rows/series for programmatic consumers (tests, CLI).
+    data: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failed_checks(self) -> list[Check]:
+        return [c for c in self.checks if not c.passed]
+
+
+def ratio_check(name: str, actual: float, expected: float, tol: float) -> Check:
+    """Check |actual/expected - 1| <= tol (relative tolerance on a ratio)."""
+    passed = abs(actual / expected - 1.0) <= tol
+    return Check(
+        name=name,
+        passed=passed,
+        detail=f"measured {actual:.3f}, paper {expected:.3f} (tol {tol:.0%})",
+    )
+
+
+def bound_check(name: str, value: float, upper: float, detail: str = "") -> Check:
+    passed = value <= upper
+    return Check(
+        name=name,
+        passed=passed,
+        detail=detail or f"value {value:.3f} <= bound {upper:.3f}: {passed}",
+    )

@@ -1,0 +1,59 @@
+"""Device performance simulation.
+
+We do not have the paper's hardware (dual Xeon E5-2670, Tesla K20X, Xeon
+Phi KNC), so this package models it.  TeaLeaf is memory-bandwidth bound
+(paper §6), which makes the first-order runtime model
+
+    time = streamed_bytes / (STREAM_bw x efficiency)
+         + launches x launch_overhead
+         + offload_regions x region_overhead
+         + reductions x reduction_latency
+         + transferred_bytes / PCIe_bw
+
+where the byte/launch/region/reduction counts come from *actually
+executing* each programming-model port (the traces of
+:mod:`repro.models.tracing`) or from the validated workload synthesiser,
+and only the efficiency factors are calibrated — one per
+(model, device, solver), each entry citing the paper measurement it
+encodes (:mod:`repro.machine.calibration`).
+
+A cache model (bandwidth boost while the working set fits the last-level
+cache) reproduces the mesh-size knees of Figure 11.
+"""
+
+from repro.machine.specs import DeviceSpec
+from repro.machine.devices import CPU_E5_2670x2, GPU_K20X, KNC_5110P, DEVICES, device_for
+from repro.machine.calibration import (
+    CalibrationEntry,
+    efficiency,
+    calibration_entry,
+    models_for_device,
+)
+from repro.machine.perfmodel import PerformanceModel, RuntimeBreakdown
+from repro.machine.workload import SolveWorkload, synthesize_solve_trace, MODEL_BEHAVIOR
+from repro.machine.iterations import IterationModel, measure_iterations
+from repro.machine.stream import stream_benchmark, StreamResult
+from repro.machine.variance import opencl_cpu_variance
+
+__all__ = [
+    "DeviceSpec",
+    "CPU_E5_2670x2",
+    "GPU_K20X",
+    "KNC_5110P",
+    "DEVICES",
+    "device_for",
+    "CalibrationEntry",
+    "efficiency",
+    "calibration_entry",
+    "models_for_device",
+    "PerformanceModel",
+    "RuntimeBreakdown",
+    "SolveWorkload",
+    "synthesize_solve_trace",
+    "MODEL_BEHAVIOR",
+    "IterationModel",
+    "measure_iterations",
+    "stream_benchmark",
+    "StreamResult",
+    "opencl_cpu_variance",
+]

@@ -1,0 +1,91 @@
+"""The three evaluation devices (Table 2 of the paper).
+
+Bandwidths match Table 2 exactly: peak is the hardware specification and
+``stream_fraction`` is chosen so ``stream_bw`` reproduces the measured
+STREAM column (76.2 / 180.1 / 159.9 GB/s).  Overheads and cache sizes are
+the published hardware characteristics; they are inputs to the simulator,
+not fitted values.
+"""
+
+from __future__ import annotations
+
+from repro.machine.specs import DeviceSpec
+from repro.models.base import DeviceKind
+from repro.util.errors import MachineError
+from repro.util.units import GIGA
+
+#: Dual-socket Intel Xeon E5-2670 (Sandy Bridge, 2 x 8 cores, 16 threads,
+#: compact affinity — §4.1).  LLC: 2 x 20 MB.  STREAM 76.2 of 102.4 GB/s.
+CPU_E5_2670x2 = DeviceSpec(
+    name="2x Intel Xeon E5-2670",
+    kind=DeviceKind.CPU,
+    peak_bw=102.4 * GIGA,
+    stream_fraction=76.2 / 102.4,
+    peak_flops=2 * 8 * 2.6e9 * 8,  # 2 sockets x 8 cores x 2.6 GHz x 8 DP/cycle (AVX)
+    launch_overhead=1.5e-6,  # OpenMP fork-join on 16 threads
+    region_overhead=4.0e-6,  # host target regions are cheap (no PCIe)
+    transfer_bw=12.0 * GIGA,  # memcpy within the node
+    transfer_latency=1.0e-6,
+    reduction_latency=1.5e-6,
+    llc_bytes=2 * 20 * 1024 * 1024,
+    cache_bw_multiplier=2.6,
+    # Sandy Bridge LLC bandwidth falls off quickly once the working set
+    # spills: full decay by 2x LLC, putting the Figure 11 knee at
+    # 40 MB / (6 fields x 8 B) ~ 8.7e5 cells — the paper reports ~9e5 (§5).
+    cache_decay=2.0,
+)
+
+#: NVIDIA Tesla K20X (Kepler GK110, 14 SMX), CUDA 7.0 (§4.2).
+#: STREAM(-like) 180.1 of 250 GB/s.  L2: 1.5 MB (too small to matter for
+#: TeaLeaf working sets, hence the modest multiplier).
+GPU_K20X = DeviceSpec(
+    name="NVIDIA Tesla K20X",
+    kind=DeviceKind.GPU,
+    peak_bw=250.0 * GIGA,
+    stream_fraction=180.1 / 250.0,
+    peak_flops=1.31e12,  # DP peak
+    launch_overhead=7.0e-6,  # CUDA kernel launch latency
+    region_overhead=3.0e-5,  # OpenACC kernels-region entry (driver + sync)
+    transfer_bw=6.0 * GIGA,  # PCIe 2.0 x16 effective
+    transfer_latency=1.0e-5,
+    reduction_latency=2.0e-5,  # partials pass + D2H of the scalar
+    llc_bytes=1536 * 1024,
+    cache_bw_multiplier=1.15,
+)
+
+#: Intel Xeon Phi 5110P/SE10P Knights Corner, 60/61 cores, 240 threads,
+#: compact affinity (§4.3).  STREAM 159.9 of 320 GB/s.  L2 ring: ~30 MB.
+KNC_5110P = DeviceSpec(
+    name="Intel Xeon Phi 5110P (KNC)",
+    kind=DeviceKind.KNC,
+    peak_bw=320.0 * GIGA,
+    stream_fraction=159.9 / 320.0,
+    peak_flops=1.01e12,
+    launch_overhead=8.0e-6,  # 240-thread fork-join is expensive
+    region_overhead=1.2e-4,  # offload-mode target invocation (§3.1 overheads)
+    transfer_bw=6.0 * GIGA,  # PCIe to the coprocessor
+    transfer_latency=1.5e-5,
+    reduction_latency=3.0e-5,  # 240-thread tree + ring traversal
+    llc_bytes=30 * 1024 * 1024,
+    cache_bw_multiplier=1.8,
+)
+
+#: All devices of the evaluation, keyed by their DeviceKind.
+DEVICES: dict[DeviceKind, DeviceSpec] = {
+    DeviceKind.CPU: CPU_E5_2670x2,
+    DeviceKind.GPU: GPU_K20X,
+    DeviceKind.KNC: KNC_5110P,
+}
+
+
+def device_for(kind: DeviceKind | str) -> DeviceSpec:
+    """Device spec by kind (or its string value)."""
+    if isinstance(kind, str):
+        try:
+            kind = DeviceKind(kind)
+        except ValueError:
+            raise MachineError(
+                f"unknown device '{kind}'; expected one of "
+                f"{[k.value for k in DeviceKind]}"
+            ) from None
+    return DEVICES[kind]

@@ -1,0 +1,151 @@
+"""The runtime predictor: trace + device + calibration -> seconds.
+
+TeaLeaf is memory-bandwidth bound, so each kernel's compute time is its
+streamed bytes over the effective bandwidth
+
+    bw_eff = STREAM_bw x efficiency(model, device, solver) x cache_factor
+
+plus per-event overheads for launches, offload-region entries, global
+reductions, and host<->device transfers.  All counts and byte totals come
+from the execution trace; the only calibrated quantity is the efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.calibration import efficiency as calibrated_efficiency
+from repro.machine.specs import DeviceSpec
+from repro.models.tracing import Event, EventKind, Trace
+from repro.util.errors import MachineError
+from repro.util.units import DOUBLE
+
+#: Distinct whole fields live in a solver iteration's working set (p, w, r,
+#: u, kx, ky) — sets the cache-saturation knee of Figure 11.
+WORKING_SET_FIELDS = 6
+
+#: Cost fraction of a ``target nowait`` region relative to a synchronous
+#: one: queued back-to-back execution amortises the launch/sync to roughly
+#: the device's bare kernel-launch level (the paper's §3.1 hypothesis about
+#: OpenMP 4.5).
+NOWAIT_REGION_FACTOR = 0.15
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Predicted device seconds, by cost component."""
+
+    compute: float = 0.0
+    launch: float = 0.0
+    regions: float = 0.0
+    reductions: float = 0.0
+    transfers: float = 0.0
+    streamed_bytes: int = 0
+    transferred_bytes: int = 0
+    kernel_launches: int = 0
+    region_entries: int = 0
+    reduction_count: int = 0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute + self.launch + self.regions + self.reductions + self.transfers
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Non-streaming share of the runtime (the Figure 11 intercept)."""
+        t = self.total
+        return 0.0 if t == 0.0 else 1.0 - self.compute / t
+
+    def achieved_bandwidth(self) -> float:
+        """Bytes/s the run sustains — the Figure 12 numerator."""
+        t = self.total
+        return 0.0 if t == 0.0 else self.streamed_bytes / t
+
+    def __add__(self, other: "RuntimeBreakdown") -> "RuntimeBreakdown":
+        return RuntimeBreakdown(
+            compute=self.compute + other.compute,
+            launch=self.launch + other.launch,
+            regions=self.regions + other.regions,
+            reductions=self.reductions + other.reductions,
+            transfers=self.transfers + other.transfers,
+            streamed_bytes=self.streamed_bytes + other.streamed_bytes,
+            transferred_bytes=self.transferred_bytes + other.transferred_bytes,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            region_entries=self.region_entries + other.region_entries,
+            reduction_count=self.reduction_count + other.reduction_count,
+        )
+
+
+class PerformanceModel:
+    """Times traces on one device."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------ #
+    def effective_bandwidth(
+        self, model: str, solver: str, cells: int, override_efficiency: float | None = None
+    ) -> float:
+        """bw_eff for a kernel over ``cells`` interior cells."""
+        eff = (
+            override_efficiency
+            if override_efficiency is not None
+            else calibrated_efficiency(model, self.device.kind, solver)
+        )
+        working_set = WORKING_SET_FIELDS * cells * DOUBLE
+        return self.device.stream_bw * eff * self.device.cache_factor(working_set)
+
+    def time_events(
+        self,
+        events: list[Event],
+        model: str,
+        solver: str,
+        override_efficiency: float | None = None,
+    ) -> RuntimeBreakdown:
+        """Predict device seconds for an event stream."""
+        d = self.device
+        out = RuntimeBreakdown()
+        for e in events:
+            if e.kind is EventKind.KERNEL:
+                bw = self.effective_bandwidth(
+                    model, solver, max(e.cells, 1), override_efficiency
+                )
+                out.compute += e.bytes_moved / bw
+                out.launch += d.launch_overhead
+                out.streamed_bytes += e.bytes_moved
+                out.kernel_launches += 1
+                if e.has_reduction:
+                    out.reductions += d.reduction_latency
+                    out.reduction_count += 1
+            elif e.kind is EventKind.REGION:
+                if e.name.startswith("target_nowait"):
+                    out.regions += d.region_overhead * NOWAIT_REGION_FACTOR
+                else:
+                    out.regions += d.region_overhead
+                out.region_entries += 1
+            elif e.kind is EventKind.TRANSFER:
+                out.transfers += e.bytes_moved / d.transfer_bw + d.transfer_latency
+                out.transferred_bytes += e.bytes_moved
+            elif e.kind is EventKind.REDUCTION_PASS:
+                # The partials pass is already represented by the kernel's
+                # has_reduction latency plus its partials read-back transfer;
+                # the marker itself costs nothing extra.
+                continue
+            else:
+                raise MachineError(f"unhandled event kind {e.kind!r}")
+        return out
+
+    def time_trace(
+        self,
+        trace: Trace,
+        model: str,
+        solver: str,
+        tag: str | None = None,
+        override_efficiency: float | None = None,
+    ) -> RuntimeBreakdown:
+        """Predict device seconds for a (possibly tag-filtered) trace."""
+        return self.time_events(
+            trace.filtered(tag), model, solver, override_efficiency
+        )

@@ -1,0 +1,105 @@
+"""Roofline analysis of the TeaLeaf kernel set.
+
+The paper's bandwidth analysis (§6) rests on TeaLeaf being memory
+bound — "As TeaLeaf is a memory bandwidth bound application, observing the
+peak bandwidth achieved on each device presents an important measure".
+This module makes that premise checkable: each kernel's arithmetic
+intensity (flops per byte, from the registry footprints) is compared
+against each device's ridge point (peak flops / STREAM bandwidth).  Every
+TeaLeaf kernel sits far left of the ridge on all three devices, which the
+test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernels import KERNELS, KernelClass, KernelSpec
+from repro.machine.specs import DeviceSpec
+from repro.util.errors import MachineError
+from repro.util.units import DOUBLE
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on one device's roofline."""
+
+    kernel: str
+    device: str
+    #: flops per byte of streamed traffic.
+    arithmetic_intensity: float
+    #: flops/s the kernel can attain: min(peak, AI x BW).
+    attainable_flops: float
+    #: AI at which the device transitions to compute bound.
+    ridge_point: float
+    #: the device's peak flop rate.
+    peak_flops: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.arithmetic_intensity < self.ridge_point
+
+    @property
+    def peak_fraction(self) -> float:
+        """Fraction of peak flops attainable — tiny for BW-bound kernels."""
+        return self.attainable_flops / self.peak_flops
+
+
+def kernel_intensity(spec: KernelSpec) -> float:
+    """Arithmetic intensity (flops/byte) of one kernel."""
+    nbytes = spec.doubles_per_cell * DOUBLE
+    if nbytes == 0:
+        raise MachineError(f"kernel {spec.name} moves no memory")
+    return spec.flops / nbytes
+
+
+def ridge_point(device: DeviceSpec) -> float:
+    """AI (flops/byte) where the device becomes compute bound."""
+    return device.peak_flops / device.stream_bw
+
+
+def place(spec: KernelSpec, device: DeviceSpec) -> RooflinePoint:
+    """Place one kernel on one device's roofline."""
+    ai = kernel_intensity(spec)
+    attainable = min(device.peak_flops, ai * device.stream_bw)
+    return RooflinePoint(
+        kernel=spec.name,
+        device=device.name,
+        arithmetic_intensity=ai,
+        attainable_flops=attainable,
+        ridge_point=ridge_point(device),
+        peak_flops=device.peak_flops,
+    )
+
+
+def roofline_report(device: DeviceSpec, solver_kernels_only: bool = True) -> list[RooflinePoint]:
+    """Roofline placement of the TeaLeaf kernels on one device.
+
+    ``solver_kernels_only`` restricts to stencil/BLAS1 solver kernels (the
+    ones that dominate runtime); halo and init kernels are excluded.
+    """
+    points = []
+    for spec in KERNELS.values():
+        if solver_kernels_only and spec.cls not in (
+            KernelClass.STENCIL,
+            KernelClass.BLAS1,
+        ):
+            continue
+        points.append(place(spec, device))
+    return sorted(points, key=lambda p: p.arithmetic_intensity)
+
+
+def render_roofline(device: DeviceSpec) -> str:
+    """Text report: one line per kernel with AI and attainable GF/s."""
+    lines = [
+        f"{device.name}: ridge at {ridge_point(device):.1f} flops/byte "
+        f"(peak {device.peak_flops / 1e12:.2f} TF/s, "
+        f"STREAM {device.stream_bw / 1e9:.1f} GB/s)"
+    ]
+    for p in roofline_report(device):
+        bound = "memory" if p.memory_bound else "compute"
+        lines.append(
+            f"  {p.kernel:20s} AI={p.arithmetic_intensity:5.2f}  "
+            f"attainable {p.attainable_flops / 1e9:7.1f} GF/s  [{bound} bound]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Device specifications.
+
+Bandwidths are stored in bytes/second (decimal); Table 2 of the paper
+quotes them in GB/s.  Overheads are seconds per occurrence.  The cache
+model gives kernels a bandwidth boost while their working set fits in the
+last-level cache, decaying linearly to DRAM bandwidth by
+``cache_decay x llc_bytes`` — this produces the CPU curve knee the paper
+observes near 9x10^5 cells (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import DeviceKind
+from repro.util.errors import MachineError
+from repro.util.units import GIGA
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one evaluation device."""
+
+    name: str
+    kind: DeviceKind
+    #: Theoretical peak memory bandwidth (Table 2, bytes/s).
+    peak_bw: float
+    #: Fraction of peak that STREAM achieves (Table 2's ratio).
+    stream_fraction: float
+    #: Peak double-precision FLOP rate (for roofline sanity checks).
+    peak_flops: float
+    #: Seconds per native kernel launch (fork-join or CUDA launch).
+    launch_overhead: float
+    #: Seconds per offload-region entry (OpenMP target / acc kernels);
+    #: only charged for models that emit REGION events.
+    region_overhead: float
+    #: Host<->device copy bandwidth (PCIe for discrete devices; for the
+    #: self-hosted CPU it is memcpy bandwidth).
+    transfer_bw: float
+    #: Fixed seconds per host<->device transfer.
+    transfer_latency: float
+    #: Extra seconds per global reduction (tree finish + host sync).
+    reduction_latency: float
+    #: Last-level cache capacity in bytes.
+    llc_bytes: int
+    #: Bandwidth multiplier when the working set fits entirely in LLC.
+    cache_bw_multiplier: float
+    #: Working-set multiple of llc_bytes at which the boost has fully
+    #: decayed to DRAM bandwidth.
+    cache_decay: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.stream_fraction <= 1.0):
+            raise MachineError(f"{self.name}: stream_fraction must be in (0, 1]")
+        if self.peak_bw <= 0 or self.transfer_bw <= 0:
+            raise MachineError(f"{self.name}: bandwidths must be positive")
+        if self.cache_bw_multiplier < 1.0:
+            raise MachineError(f"{self.name}: cache multiplier must be >= 1")
+        if self.cache_decay <= 1.0:
+            raise MachineError(f"{self.name}: cache_decay must exceed 1")
+
+    @property
+    def stream_bw(self) -> float:
+        """Sustained STREAM bandwidth (bytes/s) — the Table 2 column."""
+        return self.peak_bw * self.stream_fraction
+
+    def cache_factor(self, working_set_bytes: float) -> float:
+        """Effective-bandwidth multiplier for a given working set.
+
+        Full boost while the set fits in LLC, linear decay to 1.0 at
+        ``cache_decay x llc_bytes`` — a smooth stand-in for the gradual
+        cache-saturation the paper's Figure 11 shows for the CPU models.
+        """
+        if working_set_bytes < 0:
+            raise MachineError("working set must be non-negative")
+        if working_set_bytes <= self.llc_bytes:
+            return self.cache_bw_multiplier
+        span = self.llc_bytes * (self.cache_decay - 1.0)
+        overflow = working_set_bytes - self.llc_bytes
+        if overflow >= span:
+            return 1.0
+        frac = 1.0 - overflow / span
+        return 1.0 + (self.cache_bw_multiplier - 1.0) * frac
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: peak {self.peak_bw / GIGA:.1f} GB/s, "
+            f"STREAM {self.stream_bw / GIGA:.1f} GB/s"
+        )

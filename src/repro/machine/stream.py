@@ -1,0 +1,126 @@
+"""The STREAM benchmark on the simulated devices (Table 2 anchor).
+
+Runs the four STREAM kernels (Copy, Scale, Add, Triad) through the event
+layer and times them with the performance model at unit efficiency —
+STREAM *defines* the sustained bandwidth, so its achieved figure recovers
+``DeviceSpec.stream_bw`` minus launch overhead, exactly as the real
+benchmark's reported number folds its loop overheads in.  Table 2 is then
+"peak (spec) vs STREAM (measured here)".
+
+The arrays are sized per the STREAM rule (each at least 4x the last-level
+cache) so the cache model contributes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kernels import KERNELS
+from repro.machine.perfmodel import PerformanceModel
+from repro.machine.specs import DeviceSpec
+from repro.models.tracing import Trace
+from repro.util.errors import MachineError
+from repro.util.units import DOUBLE
+
+STREAM_KERNELS = ("stream_copy", "stream_scale", "stream_add", "stream_triad")
+
+#: STREAM's array-sizing rule relative to the last-level cache.
+ARRAY_CACHE_MULTIPLE = 4
+
+#: Floor on the array size so per-launch overheads are fully amortised on
+#: devices with small caches (a K20X's 1.5 MB L2 would otherwise make the
+#: rule-of-thumb arrays tiny); 2^25 doubles = 256 MB per array.
+MIN_ARRAY_ELEMENTS = 1 << 25
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Per-kernel sustained bandwidth on one device."""
+
+    device: str
+    array_elements: int
+    repetitions: int
+    bandwidth: dict[str, float]  # kernel -> bytes/s
+
+    @property
+    def triad(self) -> float:
+        return self.bandwidth["stream_triad"]
+
+    @property
+    def best(self) -> float:
+        return max(self.bandwidth.values())
+
+
+def stream_array_elements(device: DeviceSpec) -> int:
+    """STREAM array size (elements) for a device: >= 4x LLC per array."""
+    return max(ARRAY_CACHE_MULTIPLE * device.llc_bytes // DOUBLE, MIN_ARRAY_ELEMENTS)
+
+
+def stream_benchmark(
+    device: DeviceSpec, repetitions: int = 10, verify: bool = True
+) -> StreamResult:
+    """Run STREAM on a simulated device.
+
+    ``verify=True`` additionally executes the kernels numerically on small
+    arrays and checks the results (the real benchmark validates its
+    arrays too); the *timing* always comes from the event layer.
+    """
+    if repetitions < 1:
+        raise MachineError("need at least one repetition")
+    elements = stream_array_elements(device)
+    model = PerformanceModel(device)
+
+    if verify:
+        _verify_stream_kernels()
+
+    bandwidth: dict[str, float] = {}
+    for name in STREAM_KERNELS:
+        spec = KERNELS[name]
+        trace = Trace()
+        for _ in range(repetitions):
+            trace.kernel(
+                name,
+                bytes_moved=spec.bytes_for(elements),
+                flops=spec.flops * elements,
+                cells=elements,
+                has_reduction=False,
+            )
+        # STREAM reports raw sustained bandwidth: unit model efficiency.
+        breakdown = model.time_trace(
+            trace, model="stream", solver="cg", override_efficiency=1.0
+        )
+        bandwidth[name] = breakdown.achieved_bandwidth()
+    return StreamResult(
+        device=device.name,
+        array_elements=elements,
+        repetitions=repetitions,
+        bandwidth=bandwidth,
+    )
+
+
+def _verify_stream_kernels(n: int = 1000) -> None:
+    """Numerically execute Copy/Scale/Add/Triad and validate the results."""
+    rng = np.random.default_rng(12345)
+    a = rng.random(n)
+    b = rng.random(n)
+    c = np.zeros(n)
+    scalar = 3.0
+    # Copy: c = a
+    c[...] = a
+    if not np.array_equal(c, a):
+        raise MachineError("STREAM copy verification failed")
+    # Scale: b = scalar * c
+    b[...] = scalar * c
+    if not np.allclose(b, scalar * a):
+        raise MachineError("STREAM scale verification failed")
+    # Add: c = a + b
+    c[...] = a + b
+    if not np.allclose(c, a + scalar * a):
+        raise MachineError("STREAM add verification failed")
+    # Triad: a = b + scalar * c
+    expected = scalar * a + scalar * (a + scalar * a)
+    a2 = b + scalar * c
+    if not np.allclose(a2, expected):
+        raise MachineError("STREAM triad verification failed")

@@ -1,0 +1,46 @@
+"""Programming-model emulations and the port registry.
+
+Each subpackage emulates one of the parallel programming models evaluated by
+the paper — its API shape, data-residency rules and execution structure —
+while executing the actual TeaLeaf numerics on NumPy and emitting a
+machine-readable event trace (kernel launches, bytes moved, host<->device
+transfers, reduction passes).  The trace is what the device performance
+simulator in :mod:`repro.machine` converts into simulated seconds.
+
+Importing this package registers all built-in models.
+"""
+
+from repro.models.base import (
+    Capabilities,
+    DeviceKind,
+    Port,
+    ProgrammingModel,
+    Support,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.models.tracing import Event, EventKind, Trace
+
+# Import for registration side effects (each module calls register_model).
+from repro.models import openmp3 as _openmp3  # noqa: F401
+from repro.models import openmp4 as _openmp4  # noqa: F401
+from repro.models import openacc_port as _openacc  # noqa: F401
+from repro.models import kokkos_port as _kokkos  # noqa: F401
+from repro.models import raja_port as _raja  # noqa: F401
+from repro.models import opencl_port as _opencl  # noqa: F401
+from repro.models import cuda_port as _cuda  # noqa: F401
+
+__all__ = [
+    "Capabilities",
+    "DeviceKind",
+    "Port",
+    "ProgrammingModel",
+    "Support",
+    "available_models",
+    "get_model",
+    "register_model",
+    "Event",
+    "EventKind",
+    "Trace",
+]

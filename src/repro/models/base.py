@@ -1,0 +1,269 @@
+"""Port interface, capability metadata (Table 1), and the model registry.
+
+A *port* is one implementation of the TeaLeaf kernel set through one
+programming model's abstractions.  The solvers and the timestep driver in
+:mod:`repro.core` are written purely against :class:`Port`, exactly as the
+paper keeps "core solver logic and parameters ... consistent between ports".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core import fields as F
+from repro.core import operators as ops
+from repro.core.grid import Grid2D
+from repro.core.kernels import KERNELS, KernelSpec
+from repro.models.tracing import Trace, TransferDirection
+from repro.util.errors import ModelError
+
+
+class DeviceKind(Enum):
+    """The three device families of the paper's evaluation (Table 2)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    KNC = "knc"
+
+
+class Support(Enum):
+    """Functional-portability levels from Table 1."""
+
+    YES = "Yes"
+    NATIVE = "Native"
+    OFFLOAD = "Offload"
+    EXPERIMENTAL = "Experimental"
+    NO = ""
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Static description of a programming model (Table 1 row + §2 facts)."""
+
+    name: str
+    display_name: str
+    directive_based: bool
+    language: str
+    support: Mapping[DeviceKind, Support]
+    #: Models the paper classes as performance portable / cross platform
+    #: (§3: cross-platform vs platform-specific).
+    cross_platform: bool
+    #: One-line description used in reports.
+    summary: str = ""
+
+    def supports(self, device: DeviceKind) -> bool:
+        return self.support.get(device, Support.NO) is not Support.NO
+
+
+class Port(ABC):
+    """One TeaLeaf port: the kernel set realised through one model's API.
+
+    Concrete ports store their fields however their model dictates (raw
+    NumPy for host models, Views/Buffers/device allocations for offload
+    models) but must expose host copies through :meth:`read_field` /
+    :meth:`write_field` so the driver, solvers, halo exchange and tests can
+    interoperate.
+    """
+
+    #: Registry name of the model this port belongs to (set by subclasses).
+    model_name: str = "?"
+
+    def __init__(self, grid: Grid2D, trace: Trace | None = None) -> None:
+        self.grid = grid
+        self.trace = trace if trace is not None else Trace()
+        self.h = grid.halo
+
+    # ------------------------------------------------------------------ #
+    # trace helpers
+    # ------------------------------------------------------------------ #
+    def _launch(self, kernel_name: str, cells: int | None = None) -> KernelSpec:
+        """Record one kernel launch; returns the spec for footprint reuse."""
+        spec = KERNELS[kernel_name]
+        n = self.grid.cells if cells is None else cells
+        self.trace.kernel(
+            kernel_name,
+            bytes_moved=spec.bytes_for(n),
+            flops=spec.flops * n,
+            cells=n,
+            has_reduction=spec.has_reduction,
+        )
+        return spec
+
+    def _transfer(self, name: str, nbytes: int, direction: TransferDirection) -> None:
+        self.trace.transfer(name, nbytes, direction)
+
+    def _halo_cells(self, depth: int) -> int:
+        """Cells touched when refreshing a depth-``depth`` halo of one field."""
+        g = self.grid
+        return 2 * depth * (g.nx + g.ny) + 4 * depth * depth
+
+    # ------------------------------------------------------------------ #
+    # data interface
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def set_state(self, density: np.ndarray, energy0: np.ndarray) -> None:
+        """Install the generated initial condition (host -> device)."""
+
+    @abstractmethod
+    def read_field(self, name: str) -> np.ndarray:
+        """Host copy of a field (full halo shape).  May trigger a D2H copy."""
+
+    @abstractmethod
+    def write_field(self, name: str, values: np.ndarray) -> None:
+        """Overwrite a field from a host array.  May trigger an H2D copy."""
+
+    # ------------------------------------------------------------------ #
+    # residency (offload models override)
+    # ------------------------------------------------------------------ #
+    def begin_solve(self) -> None:
+        """Enter the solve-scope data region (no-op for host models)."""
+
+    def end_solve(self) -> None:
+        """Leave the solve-scope data region (no-op for host models)."""
+
+    # ------------------------------------------------------------------ #
+    # the TeaLeaf kernel set
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def set_field(self) -> None:
+        """energy1 = energy0."""
+
+    @abstractmethod
+    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+        """u = u0 = energy1*density; build kx, ky with rx/ry folded in."""
+
+    @abstractmethod
+    def tea_leaf_residual(self) -> None:
+        """r = u0 - A u."""
+
+    @abstractmethod
+    def cg_init(self) -> float:
+        """w = A u; r = u0 - w; p = r; returns rro = r.r."""
+
+    @abstractmethod
+    def cg_calc_w(self) -> float:
+        """w = A p; returns pw = p.w."""
+
+    @abstractmethod
+    def cg_calc_ur(self, alpha: float) -> float:
+        """u += alpha p; r -= alpha w; returns rrn = r.r."""
+
+    @abstractmethod
+    def cg_calc_p(self, beta: float) -> None:
+        """p = r + beta p."""
+
+    @abstractmethod
+    def cheby_init(self, theta: float) -> None:
+        """r = u0 - A u; sd = r/theta; u += sd."""
+
+    @abstractmethod
+    def cheby_iterate(self, alpha: float, beta: float) -> None:
+        """r -= A sd; sd = alpha sd + beta r; u += sd."""
+
+    @abstractmethod
+    def ppcg_precon_init(self, theta: float) -> None:
+        """w = r; sd = w/theta; z = sd (start the inner Chebyshev solve)."""
+
+    @abstractmethod
+    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
+        """w -= A sd; sd = alpha sd + beta w; z += sd."""
+
+    @abstractmethod
+    def ppcg_calc_p(self, beta: float) -> None:
+        """p = z + beta p (the preconditioned direction update)."""
+
+    @abstractmethod
+    def cg_precon_jacobi(self) -> None:
+        """z = r / diag(A): apply the diagonal (jac_diag) preconditioner."""
+
+    @abstractmethod
+    def jacobi_iterate(self) -> float:
+        """u_new from neighbours of old u; returns sum |u_new - u_old|."""
+
+    @abstractmethod
+    def norm2_field(self, name: str) -> float:
+        """Interior squared 2-norm of a field."""
+
+    @abstractmethod
+    def dot_fields(self, a: str, b: str) -> float:
+        """Interior dot product of two fields."""
+
+    @abstractmethod
+    def copy_field(self, src: str, dst: str) -> None:
+        """dst = src over the whole allocation."""
+
+    @abstractmethod
+    def tea_leaf_finalise(self) -> None:
+        """energy1 = u / density."""
+
+    @abstractmethod
+    def field_summary(self) -> tuple[float, float, float, float]:
+        """(volume, mass, internal energy, temperature) interior totals."""
+
+    # ------------------------------------------------------------------ #
+    # halo update
+    # ------------------------------------------------------------------ #
+    def update_halo(self, names: Iterable[str], depth: int) -> None:
+        """Reflective physical-boundary refresh of the named fields.
+
+        The default implementation reflects on the port's device-resident
+        arrays via :meth:`_device_array`.  Neighbour exchange for decomposed
+        runs is layered on top by :mod:`repro.comm`.
+        """
+        for name in names:
+            ops.reflective_halo_update(self._device_array(name), self.h, depth)
+            self._launch("halo_update", cells=self._halo_cells(depth))
+
+    @abstractmethod
+    def _device_array(self, name: str) -> np.ndarray:
+        """The device-resident backing array for ``name`` (for halo logic)."""
+
+
+class ProgrammingModel(ABC):
+    """Factory + metadata for one programming model."""
+
+    capabilities: Capabilities
+
+    @property
+    def name(self) -> str:
+        return self.capabilities.name
+
+    @abstractmethod
+    def make_port(self, grid: Grid2D, trace: Trace | None = None) -> Port:
+        """Create a fresh TeaLeaf port on ``grid``."""
+
+
+_REGISTRY: dict[str, ProgrammingModel] = {}
+
+
+def register_model(model: ProgrammingModel) -> ProgrammingModel:
+    """Register a model instance under its capability name."""
+    name = model.capabilities.name
+    if name in _REGISTRY:
+        raise ModelError(f"model '{name}' already registered")
+    _REGISTRY[name] = model
+    return model
+
+
+def get_model(name: str) -> ProgrammingModel:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model '{name}'; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_models() -> list[str]:
+    """Registered model names, stable order."""
+    return sorted(_REGISTRY)
+
+
+def make_port(model_name: str, grid: Grid2D, trace: Trace | None = None) -> Port:
+    """Convenience: look up a model and create a port in one call."""
+    return get_model(model_name).make_port(grid, trace)

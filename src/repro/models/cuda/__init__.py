@@ -1,0 +1,29 @@
+"""CUDA emulation (§2.6 of the paper).
+
+Emulates the CUDA platform abstractions the TeaLeaf port uses: the device
+runtime (malloc / memcpy / free over a distinct device memory space), the
+``<<<grid, block>>>`` launch configuration with per-thread index math and
+overspill guards, and the shared-memory block-tree reduction that "it was
+necessary to create ... including reduction code inside all of the
+individual reduction-based kernels" (§3.5).
+
+As with the other accelerator emulations, kernels receive their thread
+coordinates as whole batches (SIMT execution): ``blockIdx.x``/
+``threadIdx.x`` are arrays spanning the launch.
+"""
+
+from repro.models.cuda.runtime import CudaRuntime, DeviceAllocation, MemcpyKind
+from repro.models.cuda.launch import Dim3, ThreadContext, launch, blocks_for
+from repro.models.cuda.reduction import block_reduce_sum, next_pow2
+
+__all__ = [
+    "CudaRuntime",
+    "DeviceAllocation",
+    "MemcpyKind",
+    "Dim3",
+    "ThreadContext",
+    "launch",
+    "blocks_for",
+    "block_reduce_sum",
+    "next_pow2",
+]

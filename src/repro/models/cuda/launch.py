@@ -1,0 +1,95 @@
+"""CUDA kernel launches: <<<grid, block>>> configuration and thread indexing.
+
+A launched kernel receives a :class:`ThreadContext` exposing
+``blockIdx_x``/``threadIdx_x`` as arrays covering every thread of the
+launch (SIMT batch execution) plus the scalar ``blockDim_x``/``gridDim_x``.
+Kernels compute their global index exactly as the C they model::
+
+    idx = ctx.blockIdx_x * ctx.blockDim_x + ctx.threadIdx_x
+    # guard iteration overspill (§3.5)
+    valid = idx < n
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """Launch dimensions; TeaLeaf uses 1-D grids of 1-D blocks (§3.5)."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if self.x < 1 or self.y < 1 or self.z < 1:
+            raise ModelError(f"invalid Dim3({self.x}, {self.y}, {self.z})")
+
+    @property
+    def total(self) -> int:
+        return self.x * self.y * self.z
+
+
+@dataclass(frozen=True)
+class ThreadContext:
+    """Per-launch thread coordinates (batched across all threads)."""
+
+    blockIdx_x: np.ndarray
+    threadIdx_x: np.ndarray
+    blockDim_x: int
+    gridDim_x: int
+
+    @property
+    def global_idx(self) -> np.ndarray:
+        return self.blockIdx_x * self.blockDim_x + self.threadIdx_x
+
+
+def blocks_for(n: int, block_size: int) -> int:
+    """Grid size covering ``n`` items (the ubiquitous ceil-div)."""
+    if n < 0 or block_size < 1:
+        raise ModelError(f"blocks_for({n}, {block_size})")
+    return max(1, (n + block_size - 1) // block_size)
+
+
+def launch(
+    kernel: Callable,
+    grid: Dim3,
+    block: Dim3,
+    *args,
+    scalar: bool = False,
+):
+    """Execute ``kernel<<<grid, block>>>(*args)``.
+
+    ``scalar=True`` dispatches one thread at a time with singleton
+    coordinate arrays (the validation mode).  Returns whatever the kernel
+    returns (None for plain kernels).
+    """
+    if grid.y != 1 or grid.z != 1 or block.y != 1 or block.z != 1:
+        raise ModelError("the TeaLeaf port launches 1-D grids of 1-D blocks")
+    total = grid.x * block.x
+    if scalar:
+        result = None
+        for t in range(total):
+            ctx = ThreadContext(
+                blockIdx_x=np.array([t // block.x], dtype=np.int64),
+                threadIdx_x=np.array([t % block.x], dtype=np.int64),
+                blockDim_x=block.x,
+                gridDim_x=grid.x,
+            )
+            result = kernel(ctx, *args)
+        return result
+    tid = np.arange(total, dtype=np.int64)
+    ctx = ThreadContext(
+        blockIdx_x=tid // block.x,
+        threadIdx_x=tid % block.x,
+        blockDim_x=block.x,
+        gridDim_x=grid.x,
+    )
+    return kernel(ctx, *args)

@@ -1,0 +1,51 @@
+"""The shared-memory block reduction tree.
+
+TeaLeaf's CUDA port had to write "a custom GPU-specific reduction,
+including reduction code inside all of the individual reduction-based
+kernels" (§3.5).  This module is that code: every reduction kernel
+computes one value per thread and then combines within each block by the
+classic power-of-two stride-halving tree (the shared-memory ``__syncthreads``
+pattern), leaving one partial per block for the host to finish.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ModelError
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (block sizes must be powers of two)."""
+    if n < 1:
+        raise ModelError(f"next_pow2 needs a positive argument, got {n}")
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def block_reduce_sum(values: np.ndarray, block_size: int) -> np.ndarray:
+    """Per-block sums via the stride-halving shared-memory tree.
+
+    ``values`` holds one contribution per thread of the launch and must be
+    a whole number of blocks; ``block_size`` must be a power of two (the
+    classic kernel's requirement — TeaLeaf pads its launches accordingly).
+    Returns one partial per block, summed in tree order (which is *not*
+    left-to-right order: tests assert it still matches np.sum to fp
+    tolerance, as on real hardware).
+    """
+    if block_size < 1 or block_size & (block_size - 1):
+        raise ModelError(f"block_size must be a power of two, got {block_size}")
+    if values.ndim != 1 or values.size % block_size:
+        raise ModelError(
+            f"values (size {values.size}) must be a whole number of "
+            f"blocks of {block_size}"
+        )
+    shared = values.reshape(-1, block_size).copy()
+    stride = block_size // 2
+    while stride >= 1:
+        # __syncthreads(); if (tid < stride) sdata[tid] += sdata[tid+stride];
+        shared[:, :stride] += shared[:, stride : 2 * stride]
+        stride //= 2
+    return shared[:, 0].copy()

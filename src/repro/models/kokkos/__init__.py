@@ -1,0 +1,52 @@
+"""Kokkos emulation (§2.4 of the paper).
+
+Emulates the Kokkos abstractions the TeaLeaf port uses:
+
+* execution/memory **spaces** with explicit ``deep_copy`` between them;
+* **Views** — labelled multi-dimensional arrays with compile-time-style
+  layout selection (LayoutRight/LayoutLeft) and shared-ownership copy
+  semantics;
+* **functors** — callable objects whose ``operator()`` receives the
+  (flattened) iteration index, dispatched by ``parallel_for`` /
+  ``parallel_reduce``;
+* **hierarchical parallelism** — ``TeamPolicy`` league/team dispatch with
+  per-team reductions combined "critically", the Figure 7 pattern Sandia
+  contributed to fix the KNC halo-conditional problem.
+
+Execution detail: the emulation dispatches RangePolicy functors with the
+whole index batch as a NumPy array (the Python analogue of SIMT/vector
+execution), so functor bodies are written in array form; a tiny-problem
+scalar dispatch mode exists for validating that both forms agree.
+"""
+
+from repro.models.kokkos.core import (
+    Layout,
+    MemorySpace,
+    View,
+    create_mirror_view,
+    deep_copy,
+)
+from repro.models.kokkos.parallel import (
+    MultiSum,
+    RangePolicy,
+    Sum,
+    TeamMember,
+    TeamPolicy,
+    parallel_for,
+    parallel_reduce,
+)
+
+__all__ = [
+    "Layout",
+    "MemorySpace",
+    "View",
+    "create_mirror_view",
+    "deep_copy",
+    "RangePolicy",
+    "TeamPolicy",
+    "TeamMember",
+    "Sum",
+    "MultiSum",
+    "parallel_for",
+    "parallel_reduce",
+]

@@ -1,0 +1,134 @@
+"""Kokkos Views, spaces, and deep copies.
+
+Kokkos separates *where code runs* (execution space) from *where data
+lives* (memory space) and makes data layout a polymorphic property of the
+View type, so the same source compiles to row-major on CPUs and
+column-major (coalesced) on GPUs [Edwards, Trott & Sunderland 2014].  The
+emulation keeps all of that observable: Views carry a layout that controls
+the underlying NumPy order, host and device spaces are distinct
+allocations, and crossing spaces requires an explicit ``deep_copy`` which
+is traced as a transfer.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.models.tracing import Trace, TransferDirection
+from repro.util.errors import ModelError
+
+
+class MemorySpace(Enum):
+    """Where a View's allocation lives."""
+
+    HOST = "HostSpace"
+    DEVICE = "DeviceSpace"
+
+
+class Layout(Enum):
+    """Index-to-memory mapping of a View."""
+
+    #: C order: last index strides fastest (Kokkos default on CPUs).
+    RIGHT = "LayoutRight"
+    #: Fortran order: first index strides fastest (Kokkos default on CUDA).
+    LEFT = "LayoutLeft"
+
+
+class View:
+    """A labelled, layout-polymorphic array with shared-copy semantics.
+
+    Copy-constructing a View (``View(other_view)``) aliases the same
+    allocation, matching Kokkos' ``std::shared_ptr``-like semantics (§2.4);
+    ``deep_copy`` is the only way to copy contents.
+    """
+
+    def __init__(
+        self,
+        label: str | View,
+        shape: tuple[int, ...] | None = None,
+        layout: Layout = Layout.RIGHT,
+        space: MemorySpace = MemorySpace.DEVICE,
+    ) -> None:
+        if isinstance(label, View):
+            src = label
+            self.label = src.label
+            self.layout = src.layout
+            self.space = src.space
+            self.data = src.data  # shallow: shared allocation
+            return
+        if shape is None:
+            raise ModelError(f"View '{label}' needs a shape")
+        self.label = label
+        self.layout = layout
+        self.space = space
+        order = "C" if layout is Layout.RIGHT else "F"
+        self.data = np.zeros(shape, dtype=np.float64, order=order)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def extent(self, dim: int) -> int:
+        """Kokkos ``extent(i)``."""
+        return self.data.shape[dim]
+
+    def span(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def flat(self) -> np.ndarray:
+        """1-D alias in layout order (what a flattened RangePolicy indexes)."""
+        order = "C" if self.layout is Layout.RIGHT else "F"
+        return self.data.reshape(-1, order=order)
+
+    def __getitem__(self, key):
+        return self.data[key]
+
+    def __setitem__(self, key, value):
+        self.data[key] = value
+
+    def aliases(self, other: "View") -> bool:
+        """True when two Views share one allocation."""
+        return self.data is other.data
+
+    def __repr__(self) -> str:
+        return (
+            f"View({self.label!r}, shape={self.shape}, "
+            f"{self.layout.value}, {self.space.value})"
+        )
+
+
+def create_mirror_view(view: View) -> View:
+    """A host-space View with the same shape and layout.
+
+    Like Kokkos, if the source is already in host space the mirror *is*
+    the source (no allocation).
+    """
+    if view.space is MemorySpace.HOST:
+        return View(view)
+    mirror = View(f"{view.label}_mirror", view.shape, view.layout, MemorySpace.HOST)
+    return mirror
+
+
+def deep_copy(dst: View, src: View, trace: Trace | None = None) -> None:
+    """Copy contents between Views, tracing cross-space transfers."""
+    if dst.shape != src.shape:
+        raise ModelError(
+            f"deep_copy shape mismatch: {dst.label}{dst.shape} <- {src.label}{src.shape}"
+        )
+    dst.data[...] = src.data
+    if trace is not None and dst.space is not src.space:
+        direction = (
+            TransferDirection.H2D
+            if dst.space is MemorySpace.DEVICE
+            else TransferDirection.D2H
+        )
+        trace.transfer(f"deep_copy:{dst.label}<-{src.label}", src.nbytes, direction)

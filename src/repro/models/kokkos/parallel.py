@@ -1,0 +1,166 @@
+"""Kokkos parallel dispatch: RangePolicy, TeamPolicy, reducers.
+
+``parallel_for``/``parallel_reduce`` accept either a functor object (a
+class with ``__call__``, the verbose style CUDA 7.0 forced on the paper's
+port) or a bare lambda/function (the succinct style §3.3 notes became
+possible later) — both receive the iteration index.
+
+Dispatch modes
+--------------
+* ``RangePolicy`` — the flattened index space is delivered to the functor
+  as one NumPy index array (vector/SIMT-batch execution).  Functor bodies
+  are written in array form; for reductions they return a per-index
+  contribution array which the reducer combines.
+* ``RangePolicy(..., scalar=True)`` — the functor is invoked once per
+  index with a Python int.  Slow; used by tests to prove the batch and
+  scalar forms compute identical results.
+* ``TeamPolicy`` — hierarchical parallelism: the functor runs once per
+  league member with a :class:`TeamMember` handle, and per-team reduction
+  partials are combined at the end ("additional code is needed to
+  critically add the results from each team", §3.3/Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ModelError
+
+
+@dataclass(frozen=True)
+class RangePolicy:
+    """Flat 1-D iteration range ``[begin, end)``."""
+
+    begin: int
+    end: int
+    #: Per-index scalar dispatch (validation mode).
+    scalar: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.begin:
+            raise ModelError(f"RangePolicy end {self.end} < begin {self.begin}")
+
+
+@dataclass(frozen=True)
+class TeamPolicy:
+    """Hierarchical league of thread teams."""
+
+    league_size: int
+    team_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.league_size < 0 or self.team_size < 1:
+            raise ModelError(
+                f"invalid TeamPolicy({self.league_size}, {self.team_size})"
+            )
+
+
+@dataclass(frozen=True)
+class TeamMember:
+    """Handle given to a TeamPolicy functor: one team of the league."""
+
+    league_rank: int
+    league_size: int
+    team_size: int
+
+    def team_thread_range(self, n: int) -> np.ndarray:
+        """``TeamThreadRange``: this team's slice of an inner range.
+
+        Teams in the emulation process the whole inner range as one vector
+        batch (team threads are the SIMT lanes).
+        """
+        return np.arange(n)
+
+
+class Sum:
+    """Default Kokkos reducer: zero-initialised sum (§2.4)."""
+
+    width = 1
+
+    def init(self) -> float:
+        return 0.0
+
+    def join(self, a: float, b: float) -> float:
+        return a + b
+
+    def combine_contributions(self, contrib) -> float:
+        """Reduce one batch's per-index contributions."""
+        return float(np.sum(contrib))
+
+
+class MultiSum:
+    """Custom multi-variable reducer with user init/join (§3.3).
+
+    The paper notes the one TeaLeaf kernel with a multi-variable reduction
+    (the field summary) needed custom initialisation and join functions —
+    this is that reducer.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ModelError(f"MultiSum width must be positive, got {width}")
+        self.width = width
+
+    def init(self) -> tuple[float, ...]:
+        return (0.0,) * self.width
+
+    def join(self, a: Sequence[float], b: Sequence[float]) -> tuple[float, ...]:
+        if len(a) != self.width or len(b) != self.width:
+            raise ModelError("MultiSum.join: arity mismatch")
+        return tuple(x + y for x, y in zip(a, b))
+
+    def combine_contributions(self, contrib: Sequence) -> tuple[float, ...]:
+        if len(contrib) != self.width:
+            raise ModelError(
+                f"reduction functor returned {len(contrib)} values, expected {self.width}"
+            )
+        return tuple(float(np.sum(c)) for c in contrib)
+
+
+def parallel_for(policy: RangePolicy | TeamPolicy, functor: Callable) -> None:
+    """Execute a functor over a policy (no reduction)."""
+    if isinstance(policy, RangePolicy):
+        if policy.scalar:
+            for i in range(policy.begin, policy.end):
+                functor(i)
+        else:
+            functor(np.arange(policy.begin, policy.end))
+        return
+    if isinstance(policy, TeamPolicy):
+        for rank in range(policy.league_size):
+            functor(TeamMember(rank, policy.league_size, policy.team_size))
+        return
+    raise ModelError(f"unsupported policy {policy!r}")
+
+
+def parallel_reduce(
+    policy: RangePolicy | TeamPolicy,
+    functor: Callable,
+    reducer: Sum | MultiSum | None = None,
+):
+    """Execute a reduction functor; returns the reduced value(s).
+
+    RangePolicy functors return per-index contribution array(s); TeamPolicy
+    functors return one partial per team, joined across the league.
+    """
+    red = reducer if reducer is not None else Sum()
+    if isinstance(policy, RangePolicy):
+        if policy.scalar:
+            acc = red.init()
+            for i in range(policy.begin, policy.end):
+                value = functor(i)
+                acc = red.join(acc, value) if red.width > 1 else acc + value
+            return acc
+        contrib = functor(np.arange(policy.begin, policy.end))
+        return red.combine_contributions(contrib)
+    if isinstance(policy, TeamPolicy):
+        acc = red.init()
+        for rank in range(policy.league_size):
+            partial = functor(TeamMember(rank, policy.league_size, policy.team_size))
+            # "critically add the results from each team" (§3.3)
+            acc = red.join(acc, partial) if red.width > 1 else acc + partial
+        return acc
+    raise ModelError(f"unsupported policy {policy!r}")

@@ -1,0 +1,13 @@
+"""OpenACC emulation: data regions and kernels-region semantics (§2.2).
+
+OpenACC's data-movement model is deliberately close to OpenMP 4.0's (the
+paper ported TeaLeaf to OpenACC *from* the OpenMP 4.0 codebase, "changing
+the directives but maintaining the same data transitions"), so the device
+data environment is shared with the OpenMP emulation; this module renames
+it into OpenACC vocabulary (``copyin``/``copyout``/``copy``/``create``/
+``present``) and adds the ``kernels``/``loop independent collapse`` markers.
+"""
+
+from repro.models.openacc.directives import AccDataRegion, kernels_region, loop
+
+__all__ = ["AccDataRegion", "kernels_region", "loop"]

@@ -1,0 +1,105 @@
+"""OpenACC directive objects.
+
+* :class:`AccDataRegion` — ``#pragma acc data copyin(...) copy(...)
+  create(...)``: a lexical scope pinning arrays on the device;
+* :func:`kernels_region` — ``#pragma acc kernels present(...)``: one
+  offloaded compute region.  The ``present`` check is enforced: naming an
+  array that is not device-resident raises, like the runtime error a real
+  ``present`` clause produces;
+* :func:`loop` — ``#pragma acc loop independent [collapse(n)]`` marker,
+  attached to loop bodies for introspection (the paper appends
+  ``loop independent`` to every loop and collapses them for the GPU).
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence, TypeVar
+
+import numpy as np
+
+from repro.models.openmp.directives import DeviceDataEnvironment
+from repro.models.tracing import Trace
+from repro.util.errors import ModelError
+
+T = TypeVar("T")
+
+
+class AccDataRegion:
+    """``acc data`` scope with OpenACC copy semantics."""
+
+    def __init__(
+        self,
+        env: DeviceDataEnvironment,
+        copyin: dict[str, np.ndarray] | None = None,
+        copyout: dict[str, np.ndarray] | None = None,
+        copy: dict[str, np.ndarray] | None = None,
+        create: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        self.env = env
+        self._copyin = dict(copyin or {})
+        self._copyout = dict(copyout or {})
+        self._copy = dict(copy or {})
+        self._create = dict(create or {})
+        self._entered = False
+
+    def __enter__(self) -> "AccDataRegion":
+        if self._entered:
+            raise ModelError("acc data region entered twice")
+        self._entered = True
+        for name, arr in self._copyin.items():
+            self.env.map(name, arr, to=True, from_=False)
+        for name, arr in self._copy.items():
+            self.env.map(name, arr, to=True, from_=True)
+        for name, arr in self._copyout.items():
+            self.env.map(name, arr, to=False, from_=True)
+        for name, arr in self._create.items():
+            self.env.map(name, arr, to=False, from_=False)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for name in [*self._copyin, *self._copy, *self._copyout, *self._create]:
+            self.env.unmap(name)
+        self._entered = False
+
+
+@contextmanager
+def kernels_region(
+    env: DeviceDataEnvironment,
+    trace: Trace,
+    name: str,
+    present: Sequence[str] = (),
+) -> Iterator[DeviceDataEnvironment]:
+    """``acc kernels present(...)``: one offloaded region.
+
+    Verifies the ``present`` clause before running the body, mirroring the
+    PGI runtime's "data not present" abort.
+    """
+    for array_name in present:
+        if not env.is_mapped(array_name):
+            raise ModelError(
+                f"acc kernels '{name}': array '{array_name}' is not present "
+                "on the device (missing enclosing data region?)"
+            )
+    trace.region(f"acc_kernels:{name}")
+    yield env
+
+
+def loop(independent: bool = True, collapse: int = 1) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """``acc loop independent collapse(n)`` marker decorator.
+
+    Records the clauses on the loop body; the TeaLeaf OpenACC port marks
+    every data-parallel loop ``independent`` and collapses the 2-D nests,
+    as §3.2 describes.
+    """
+
+    def decorate(fn: Callable[..., T]) -> Callable[..., T]:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return fn(*args, **kwargs)
+
+        wrapper.__acc_loop__ = {"independent": independent, "collapse": collapse}  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate

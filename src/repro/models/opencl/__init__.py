@@ -1,0 +1,35 @@
+"""OpenCL emulation (§2.5 of the paper).
+
+Implements the three OpenCL abstract models the paper describes:
+
+* **platform model** — platforms containing devices containing compute
+  units (:mod:`repro.models.opencl.platform`);
+* **execution model** — contexts, in-order command queues, kernels with
+  explicit positional argument binding, ND-range launches with work-group
+  decomposition and overspill (:mod:`repro.models.opencl.runtime`,
+  :mod:`repro.models.opencl.program`);
+* **memory model** — host and device memory are distinct; all movement
+  goes through ``enqueue_read/write_buffer`` and is traced.
+
+Reductions "have to be manually written" in OpenCL (§3.6): the queue's
+``enqueue_reduction_kernel`` performs the work-group local-memory tree
+combine and leaves one partial per work group in an output buffer for the
+host to finish — precisely the structure of the TeaLeaf OpenCL kernels.
+"""
+
+from repro.models.opencl.platform import Device, DeviceType, Platform, get_platforms
+from repro.models.opencl.runtime import Buffer, CommandQueue, Context, MemFlags
+from repro.models.opencl.program import Kernel, Program
+
+__all__ = [
+    "Device",
+    "DeviceType",
+    "Platform",
+    "get_platforms",
+    "Context",
+    "CommandQueue",
+    "Buffer",
+    "MemFlags",
+    "Program",
+    "Kernel",
+]

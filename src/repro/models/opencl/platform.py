@@ -1,0 +1,105 @@
+"""OpenCL platform model: platforms, devices, compute units.
+
+The emulated installation mirrors the paper's testbeds: an Intel platform
+exposing the dual-socket Sandy Bridge CPU and the KNC accelerator (which
+OpenCL drives in *offload* mode, Table 1), and an NVIDIA platform exposing
+the Tesla K20X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.errors import ModelError
+
+
+class DeviceType(Enum):
+    """cl_device_type of the devices TeaLeaf targets."""
+
+    CPU = "CL_DEVICE_TYPE_CPU"
+    GPU = "CL_DEVICE_TYPE_GPU"
+    ACCELERATOR = "CL_DEVICE_TYPE_ACCELERATOR"
+
+
+@dataclass(frozen=True)
+class Device:
+    """One OpenCL device."""
+
+    name: str
+    device_type: DeviceType
+    compute_units: int
+    max_work_group_size: int
+    global_mem_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.compute_units < 1:
+            raise ModelError(f"device {self.name}: compute_units must be >= 1")
+        if self.max_work_group_size < 1:
+            raise ModelError(f"device {self.name}: bad max_work_group_size")
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One OpenCL platform (vendor implementation)."""
+
+    name: str
+    vendor: str
+    devices: tuple[Device, ...]
+
+    def get_devices(self, device_type: DeviceType | None = None) -> list[Device]:
+        if device_type is None:
+            return list(self.devices)
+        return [d for d in self.devices if d.device_type is device_type]
+
+
+#: The emulated OpenCL installation (the paper's testbed devices).
+_PLATFORMS = (
+    Platform(
+        name="Intel(R) OpenCL",
+        vendor="Intel(R) Corporation",
+        devices=(
+            Device(
+                name="Intel(R) Xeon(R) CPU E5-2670 0 @ 2.60GHz x 2",
+                device_type=DeviceType.CPU,
+                compute_units=32,  # 16 cores x 2 hyperthreads
+                max_work_group_size=8192,
+                global_mem_bytes=64 * 1024**3,
+            ),
+            Device(
+                name="Intel(R) Many Integrated Core Acceleration Card (KNC)",
+                device_type=DeviceType.ACCELERATOR,
+                compute_units=240,
+                max_work_group_size=1024,
+                global_mem_bytes=8 * 1024**3,
+            ),
+        ),
+    ),
+    Platform(
+        name="NVIDIA CUDA",
+        vendor="NVIDIA Corporation",
+        devices=(
+            Device(
+                name="Tesla K20X",
+                device_type=DeviceType.GPU,
+                compute_units=14,  # SMX count
+                max_work_group_size=1024,
+                global_mem_bytes=6 * 1024**3,
+            ),
+        ),
+    ),
+)
+
+
+def get_platforms() -> list[Platform]:
+    """``clGetPlatformIDs``: every platform of the emulated installation."""
+    return list(_PLATFORMS)
+
+
+def find_device(device_type: DeviceType) -> tuple[Platform, Device]:
+    """First (platform, device) pair of the requested type."""
+    for platform in _PLATFORMS:
+        devices = platform.get_devices(device_type)
+        if devices:
+            return platform, devices[0]
+    raise ModelError(f"no device of type {device_type.value} available")

@@ -1,0 +1,24 @@
+"""OpenMP emulation: a shared-memory fork-join runtime (3.0) and the
+4.0 ``target`` offload directive layer.
+
+The runtime mimics OpenMP's execution semantics — static scheduling of
+contiguous iteration chunks across a thread team, per-thread partial
+reductions combined at the join — while executing each chunk as vectorised
+NumPy (the Python analogue of what the compiler's vectoriser does inside
+each thread).
+"""
+
+from repro.models.openmp.runtime import OpenMPRuntime, simd
+from repro.models.openmp.directives import (
+    DeviceDataEnvironment,
+    TargetDataRegion,
+    target,
+)
+
+__all__ = [
+    "OpenMPRuntime",
+    "simd",
+    "DeviceDataEnvironment",
+    "TargetDataRegion",
+    "target",
+]

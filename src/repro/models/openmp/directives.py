@@ -1,0 +1,164 @@
+"""OpenMP 4.0 ``target`` offload semantics (§2.1 of the paper).
+
+Implements the device data environment of the 4.0 accelerator model:
+
+* ``omp target data map(...)`` — :class:`TargetDataRegion`, a lexical scope
+  that maps arrays onto the device for its duration so multiple target
+  regions can reuse resident data (the paper places one at the highest
+  possible scope, above the timestep loop's solve);
+* ``omp target`` — :func:`target`, entered once per offloaded kernel; each
+  entry is traced as a REGION event because the paper found "a performance
+  overhead dependent upon the number of target invocations" (§3.1) and each
+  region is handled synchronously (no ``nowait`` until 4.5);
+* ``omp target update to/from`` — explicit consistency copies.
+
+The "device" memory is a distinct set of arrays: host reads of mapped data
+without an ``update from`` observe stale values, exactly like a real
+discrete accelerator.  This is enforced, not simulated — tests rely on it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.models.tracing import Trace, TransferDirection
+from repro.util.errors import ModelError
+
+
+class DeviceDataEnvironment:
+    """The set of host arrays currently mapped onto the device."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._host: dict[str, np.ndarray] = {}
+        self._device: dict[str, np.ndarray] = {}
+        self._copy_back: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------ #
+    def is_mapped(self, name: str) -> bool:
+        return name in self._device
+
+    def map(
+        self,
+        name: str,
+        host_array: np.ndarray,
+        to: bool = True,
+        from_: bool = False,
+    ) -> None:
+        """``map(to:)`` / ``map(from:)`` / ``map(tofrom:)`` / ``map(alloc:)``.
+
+        ``to=False, from_=False`` is ``alloc`` (device storage, no copies).
+        """
+        if name in self._device:
+            raise ModelError(f"array '{name}' is already mapped")
+        self._host[name] = host_array
+        if to:
+            self._device[name] = host_array.copy()
+            self.trace.transfer(f"map(to:{name})", host_array.nbytes, TransferDirection.H2D)
+        else:
+            self._device[name] = np.zeros_like(host_array)
+        self._copy_back[name] = from_
+
+    def unmap(self, name: str) -> None:
+        """Leave the map scope; ``from``-mapped arrays copy back to host."""
+        if name not in self._device:
+            raise ModelError(f"array '{name}' is not mapped")
+        if self._copy_back[name]:
+            dev = self._device[name]
+            self._host[name][...] = dev
+            self.trace.transfer(f"map(from:{name})", dev.nbytes, TransferDirection.D2H)
+        del self._device[name], self._host[name], self._copy_back[name]
+
+    def device(self, name: str) -> np.ndarray:
+        """The device-resident array (only valid inside a target region)."""
+        try:
+            return self._device[name]
+        except KeyError:
+            raise ModelError(
+                f"array '{name}' used in a target region but not mapped"
+            ) from None
+
+    def update_to(self, name: str) -> None:
+        """``omp target update to(name)``: refresh the device copy."""
+        dev = self.device(name)
+        dev[...] = self._host[name]
+        self.trace.transfer(f"update(to:{name})", dev.nbytes, TransferDirection.H2D)
+
+    def update_from(self, name: str) -> None:
+        """``omp target update from(name)``: refresh the host copy."""
+        dev = self.device(name)
+        self._host[name][...] = dev
+        self.trace.transfer(f"update(from:{name})", dev.nbytes, TransferDirection.D2H)
+
+    def mapped_names(self) -> list[str]:
+        return sorted(self._device)
+
+
+class TargetDataRegion:
+    """Lexically-scoped ``omp target data`` region (4.0: structured only).
+
+    The 4.0 standard restricts target data regions to lexically structured
+    scopes (§3.1) — this class is a context manager for exactly that reason;
+    the unstructured ``target enter/exit data`` of 4.5 is deliberately not
+    provided.
+    """
+
+    def __init__(
+        self,
+        env: DeviceDataEnvironment,
+        map_to: dict[str, np.ndarray] | None = None,
+        map_tofrom: dict[str, np.ndarray] | None = None,
+        map_alloc: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        self.env = env
+        self._to = dict(map_to or {})
+        self._tofrom = dict(map_tofrom or {})
+        self._alloc = dict(map_alloc or {})
+        self._entered = False
+
+    def __enter__(self) -> "TargetDataRegion":
+        if self._entered:
+            raise ModelError("target data region entered twice")
+        self._entered = True
+        for name, arr in self._to.items():
+            self.env.map(name, arr, to=True, from_=False)
+        for name, arr in self._tofrom.items():
+            self.env.map(name, arr, to=True, from_=True)
+        for name, arr in self._alloc.items():
+            self.env.map(name, arr, to=False, from_=False)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for name in [*self._to, *self._tofrom, *self._alloc]:
+            self.env.unmap(name)
+        self._entered = False
+
+
+@contextmanager
+def target(
+    env: DeviceDataEnvironment,
+    trace: Trace,
+    name: str,
+    nowait: bool = False,
+) -> Iterator[DeviceDataEnvironment]:
+    """``omp target [nowait]``: one offloaded region.
+
+    Yields the device data environment; the body must fetch its arrays via
+    ``env.device(...)`` (unmapped uses raise, like a 4.0 compiler would
+    reject missing map clauses for non-scalar data).
+
+    ``nowait`` is the OpenMP **4.5** clause the paper anticipates (§3.1):
+    "ensuring that a stream of target invocations can be queued on the
+    device for immediate back-to-back execution.  We hypothesise that this
+    functionality will have a significant influence on the target
+    overheads."  Asynchronous regions are traced with a distinct label so
+    the performance model can charge the pipelined (much smaller)
+    per-invocation cost.
+    """
+    trace.region(f"{'target_nowait' if nowait else 'target'}:{name}")
+    yield env
+    # Synchronous 4.0 regions imply device completion on return; nowait
+    # regions queue and the eventual taskwait pays one sync for the batch.

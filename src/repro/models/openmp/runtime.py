@@ -1,0 +1,123 @@
+"""OpenMP 3.0 execution semantics: thread teams, static schedule, reductions.
+
+``parallel_for`` corresponds to ``#pragma omp parallel for schedule(static)``
+over an outer loop: the iteration range is split into one contiguous chunk
+per thread, and the loop body runs once per chunk.  ``parallel_reduce``
+additionally gives each thread a private partial that is combined at the
+join, which is exactly OpenMP's ``reduction(+:...)`` clause — the partial
+ordering therefore matches a real static-scheduled OpenMP reduction rather
+than a single serial sum.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Default team size: the paper's CPU runs use dual-socket E5-2670 with 16
+#: threads and compact affinity (§4.1).
+DEFAULT_NUM_THREADS = 16
+
+
+def static_chunks(n: int, nthreads: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, end)`` chunks of ``range(n)``, one per thread.
+
+    Matches OpenMP's ``schedule(static)`` without a chunk size: the first
+    ``n % nthreads`` chunks get one extra iteration.  Threads with no work
+    receive no chunk (empty chunks are skipped, as a real runtime would).
+    """
+    if n < 0:
+        raise ValueError(f"iteration count must be non-negative, got {n}")
+    if nthreads < 1:
+        raise ValueError(f"thread count must be positive, got {nthreads}")
+    base, extra = divmod(n, nthreads)
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    for t in range(nthreads):
+        size = base + (1 if t < extra else 0)
+        if size == 0:
+            continue
+        chunks.append((start, start + size))
+        start += size
+    return chunks
+
+
+class OpenMPRuntime:
+    """A fork-join thread team with static scheduling.
+
+    Chunks execute sequentially in thread order (the emulation is
+    deterministic), but the *decomposition* — and therefore the floating
+    point summation order of reductions — is faithful to a static-scheduled
+    OpenMP team of ``num_threads`` threads.
+    """
+
+    def __init__(self, num_threads: int = DEFAULT_NUM_THREADS) -> None:
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        self.num_threads = num_threads
+        #: Number of parallel regions entered (fork-join overhead counter).
+        self.regions = 0
+
+    def parallel_for(self, n: int, body: Callable[[int, int], None]) -> None:
+        """``#pragma omp parallel for schedule(static)`` over ``range(n)``.
+
+        ``body(start, end)`` processes the contiguous chunk ``[start, end)``.
+        """
+        self.regions += 1
+        for start, end in static_chunks(n, self.num_threads):
+            body(start, end)
+
+    def parallel_reduce(
+        self,
+        n: int,
+        body: Callable[[int, int], float],
+        initial: float = 0.0,
+    ) -> float:
+        """``parallel for reduction(+:acc)``: sum per-thread partials."""
+        self.regions += 1
+        acc = initial
+        for start, end in static_chunks(n, self.num_threads):
+            acc += body(start, end)
+        return acc
+
+    def parallel_reduce_multi(
+        self,
+        n: int,
+        body: Callable[[int, int], tuple[float, ...]],
+        width: int,
+    ) -> tuple[float, ...]:
+        """Multi-variable reduction (``reduction(+:a,b,c)``)."""
+        acc = [0.0] * width
+        self.regions += 1
+        for start, end in static_chunks(n, self.num_threads):
+            partial = body(start, end)
+            if len(partial) != width:
+                raise ValueError(
+                    f"reduction body returned {len(partial)} values, expected {width}"
+                )
+            for i, v in enumerate(partial):
+                acc[i] += v
+        return tuple(acc)
+
+
+def simd(fn: Callable[..., T]) -> Callable[..., T]:
+    """``#pragma omp simd`` marker.
+
+    Numerically a no-op (the NumPy body is already vector code); it tags the
+    wrapped loop body so ports can declare which loops they force-vectorise.
+    The RAJA-SIMD proof-of-concept variant from §4.1 uses this marker.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    wrapper.__omp_simd__ = True  # type: ignore[attr-defined]
+    return wrapper
+
+
+def is_simd(fn: Callable) -> bool:
+    """True when a loop body has been marked with :func:`simd`."""
+    return getattr(fn, "__omp_simd__", False)

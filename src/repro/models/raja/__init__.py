@@ -1,0 +1,34 @@
+"""RAJA emulation (§2.3 of the paper).
+
+Emulates the pre-release RAJA abstractions the TeaLeaf port used:
+
+* **Segments** — units of the partitioned iteration space:
+  :class:`RangeSegment` (contiguous, vectorisable) and
+  :class:`ListSegment` (an indirection array of arbitrary indices — how
+  the port excluded halos "without any explicit conditions or index
+  calculations in the loop body", at the cost of precluding vectorisation,
+  §3.4/§4.1);
+* **IndexSets** — ordered aggregations of segments dispatched as one
+  logical iteration space;
+* **forall** — the traversal template decoupling loop body from loop
+  order, taking a lambda for the body;
+* **Reducers** — ``ReduceSum`` objects accumulated from inside the body,
+  plus the custom multi-reducer dispatch the paper's authors had to write
+  themselves ("it was necessary to create our own implementations of the
+  dispatch functions ... for multiple reduction variables").
+"""
+
+from repro.models.raja.segments import IndexSet, ListSegment, RangeSegment
+from repro.models.raja.forall import forall, omp_parallel_for_exec, seq_exec, simd_exec
+from repro.models.raja.reducers import ReduceSum
+
+__all__ = [
+    "RangeSegment",
+    "ListSegment",
+    "IndexSet",
+    "forall",
+    "seq_exec",
+    "omp_parallel_for_exec",
+    "simd_exec",
+    "ReduceSum",
+]

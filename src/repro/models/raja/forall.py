@@ -1,0 +1,111 @@
+"""RAJA ``forall``: the traversal template.
+
+``forall(policy, target, body)`` decouples the loop body (a lambda taking
+the iteration index) from the traversal (segment order + execution
+policy), RAJA's foundational abstraction ("Separate loop body from
+traversal", §2.3).  Bodies receive index batches as NumPy arrays, one
+batch per segment, in segment order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.models.raja.segments import IndexSet, ListSegment, RangeSegment
+from repro.util.errors import ModelError
+
+
+class seq_exec:
+    """Sequential execution policy."""
+
+    name = "seq_exec"
+
+
+class omp_parallel_for_exec:
+    """CPU-parallel execution policy (the port's default for TeaLeaf)."""
+
+    name = "omp_parallel_for_exec"
+
+
+class simd_exec:
+    """Forced-vectorisation policy — the RAJA-SIMD proof of concept (§4.1).
+
+    Only valid over stride-1 RangeSegments: the whole point of the paper's
+    experiment was that indirection lists preclude vectorisation, so
+    requesting simd over a ListSegment raises.
+    """
+
+    name = "simd_exec"
+
+
+class cuda_exec:
+    """CUDA-backed execution policy (extension).
+
+    §2.3: "Internally, the built-in dispatch functions wrap up
+    platform-specific implementations ... a GPU-targetting implementation
+    can use CUDA", and the paper's RAJA predated that backend ("the RAJA
+    developers are in the process of writing an NVIDIA GPU targetting
+    implementation").  This policy realises it by dispatching each
+    segment's lambda as a kernel through the CUDA launch emulation —
+    one ``<<<grid, block>>>`` per segment, with the standard overspill
+    guard.
+    """
+
+    name = "cuda_exec"
+    block_size = 128
+
+
+Policy = type
+
+
+def forall(
+    policy: Policy,
+    target: IndexSet | RangeSegment | ListSegment,
+    body: Callable[[np.ndarray], None],
+) -> None:
+    """Apply ``body`` to every index of ``target`` under ``policy``."""
+    if policy not in (seq_exec, omp_parallel_for_exec, simd_exec, cuda_exec):
+        raise ModelError(f"unknown RAJA execution policy {policy!r}")
+
+    if isinstance(target, (RangeSegment, ListSegment)):
+        segments = [target]
+    elif isinstance(target, IndexSet):
+        segments = target.segments
+    else:
+        raise ModelError(f"forall target must be a Segment or IndexSet, got {target!r}")
+
+    if policy is simd_exec:
+        for seg in segments:
+            if not seg.vectorisable:
+                raise ModelError(
+                    "simd_exec requires stride-1 RangeSegments; "
+                    f"got {seg!r} (indirection precludes vectorisation)"
+                )
+
+    if policy is cuda_exec:
+        from repro.models.cuda.launch import Dim3, blocks_for, launch
+
+        for seg in segments:
+            indices = seg.indices()
+            if not indices.size:
+                continue
+
+            def raja_cuda_kernel(ctx, n, idx):
+                tid = ctx.global_idx
+                body(idx[tid[tid < n]])  # overspill-guarded lambda dispatch
+
+            launch(
+                raja_cuda_kernel,
+                Dim3(blocks_for(indices.size, cuda_exec.block_size)),
+                Dim3(cuda_exec.block_size),
+                indices.size,
+                indices,
+            )
+        return
+
+    for seg in segments:
+        idx = seg.indices()
+        if idx.size:
+            body(idx)

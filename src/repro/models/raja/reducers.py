@@ -1,0 +1,39 @@
+"""RAJA reduction objects.
+
+``ReduceSum`` mirrors RAJA's reducer types: constructed before the
+``forall``, accumulated from inside the lambda with ``+=``, read after
+with ``get()``.  Accumulating a NumPy array adds the sum of the batch —
+the emulation's analogue of each iteration contributing one value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ModelError
+
+
+class ReduceSum:
+    """A sum reduction variable usable from inside a forall body."""
+
+    def __init__(self, policy: type, initial: float = 0.0) -> None:
+        # The policy parameter mirrors RAJA's ReduceSum<reduce_policy, T>;
+        # the emulation accepts it for API fidelity but all policies reduce
+        # deterministically.
+        self.policy = policy
+        self._value = float(initial)
+        self._closed = False
+
+    def __iadd__(self, contribution) -> "ReduceSum":
+        if self._closed:
+            raise ModelError("ReduceSum accumulated after get()")
+        if isinstance(contribution, np.ndarray):
+            self._value += float(np.sum(contribution))
+        else:
+            self._value += float(contribution)
+        return self
+
+    def get(self) -> float:
+        """Final reduced value (closes the reducer, like RAJA's host read)."""
+        self._closed = True
+        return self._value

@@ -1,0 +1,101 @@
+"""RAJA Segments and IndexSets.
+
+A Segment is one unit of work with one access pattern; an IndexSet
+aggregates Segments of possibly different types so they can be dispatched
+together ("Partition iteration space into work units", §2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ModelError
+
+
+class RangeSegment:
+    """A contiguous index range ``[begin, end)`` — stride-1, vectorisable."""
+
+    vectorisable = True
+
+    def __init__(self, begin: int, end: int) -> None:
+        if end < begin:
+            raise ModelError(f"RangeSegment end {end} < begin {begin}")
+        self.begin = begin
+        self.end = end
+
+    def indices(self) -> np.ndarray:
+        return np.arange(self.begin, self.end, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+    def __repr__(self) -> str:
+        return f"RangeSegment({self.begin}, {self.end})"
+
+
+class ListSegment:
+    """An explicit indirection array of indices.
+
+    This is how the TeaLeaf RAJA port excluded halo cells: the interior
+    indices are precomputed into lists, so the loop body needs no
+    conditionals — but indirect addressing "precludes vectorisation"
+    (§4.1), which the performance calibration charges for.
+    """
+
+    vectorisable = False
+
+    def __init__(self, indices: np.ndarray) -> None:
+        arr = np.asarray(indices, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ModelError(f"ListSegment indices must be 1-D, got shape {arr.shape}")
+        if arr.size and np.any(arr < 0):
+            raise ModelError("ListSegment indices must be non-negative")
+        self._indices = arr
+
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    def __len__(self) -> int:
+        return self._indices.size
+
+    def __repr__(self) -> str:
+        return f"ListSegment(len={len(self)})"
+
+
+Segment = RangeSegment | ListSegment
+
+
+class IndexSet:
+    """An ordered collection of Segments dispatched as one iteration space."""
+
+    def __init__(self, segments: list[Segment] | None = None) -> None:
+        self._segments: list[Segment] = []
+        for seg in segments or []:
+            self.push_back(seg)
+
+    def push_back(self, segment: Segment) -> None:
+        if not isinstance(segment, (RangeSegment, ListSegment)):
+            raise ModelError(f"not a Segment: {segment!r}")
+        self._segments.append(segment)
+
+    @property
+    def segments(self) -> list[Segment]:
+        return list(self._segments)
+
+    def __len__(self) -> int:
+        """Total number of indices across all segments."""
+        return sum(len(s) for s in self._segments)
+
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def all_indices(self) -> np.ndarray:
+        """Concatenated indices in dispatch order (tests/validation)."""
+        if not self._segments:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([s.indices() for s in self._segments])
+
+    @property
+    def vectorisable(self) -> bool:
+        """True when every segment is stride-1."""
+        return all(s.vectorisable for s in self._segments)

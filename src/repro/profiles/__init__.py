@@ -1,0 +1,49 @@
+"""Application performance profiles beyond TeaLeaf (§8 future work).
+
+The paper closes: "TeaLeaf has a specific performance profile, and it
+would be very useful to consider the success of each model relative to
+applications that have different requirements such as CloverLeaf and the
+SN Application Proxy (SNAP)".
+
+This package explores exactly that, without pretending to port two more
+apps: it implements the *representative kernels* that give those codes
+their characters —
+
+* ``eos``        — CloverLeaf's pointwise ideal-gas equation of state:
+  compute-rich, two streams, no neighbours;
+* ``advection``  — CloverLeaf's upwind advection: gathers with
+  data-dependent selects;
+* ``sweep``      — SNAP's wavefront transport sweep: a true loop-carried
+  diagonal dependency, so available parallelism is one anti-diagonal at a
+  time and a device must launch O(n) dependent steps;
+
+and analyses how each programming model's cost structure (launch
+overhead, offload regions, bandwidth efficiency) interacts with each
+profile.  The headline results, asserted by the tests: the model ranking
+is *profile dependent* — offload models that look fine on TeaLeaf's
+bandwidth-bound stencils fall off a cliff on the sweep's launch-per-
+diagonal pattern, and compute-rich kernels compress the bandwidth-
+efficiency differences that separate the models on TeaLeaf.
+"""
+
+from repro.profiles.workloads import (
+    eos_ideal_gas,
+    upwind_advection,
+    wavefront_sweep,
+)
+from repro.profiles.analysis import (
+    PROFILES,
+    KernelProfile,
+    profile_runtime,
+    compare_profiles,
+)
+
+__all__ = [
+    "eos_ideal_gas",
+    "upwind_advection",
+    "wavefront_sweep",
+    "PROFILES",
+    "KernelProfile",
+    "profile_runtime",
+    "compare_profiles",
+]

@@ -1,0 +1,146 @@
+"""Profile x model x device interaction analysis.
+
+Each :class:`KernelProfile` characterises one application kernel class by
+its per-cell traffic/flops and — crucially — its *dependency structure*:
+how many device-side steps must execute in order before the grid is done.
+TeaLeaf's stencils and CloverLeaf's pointwise/advection kernels are one
+step; SNAP's sweep is one step per anti-diagonal.
+
+Runtime model per dependent step (a restricted roofline):
+
+    t_step = max(bytes_step / bw_eff, flops_step / peak_flops)
+           + launch_overhead [+ region_overhead for offload models]
+
+Bandwidth efficiency reuses the TeaLeaf calibration for the model/device
+(the kernels stream the same way); the *insights* this module surfaces are
+structural and hold for any reasonable efficiency values:
+
+* on the sweep, per-step overheads multiply by O(n) dependent launches,
+  so launch/region-expensive models collapse;
+* on compute-rich kernels the bandwidth term leaves the critical path,
+  compressing the differences between models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.calibration import efficiency
+from repro.machine.devices import device_for
+from repro.machine.perfmodel import WORKING_SET_FIELDS
+from repro.machine.specs import DeviceSpec
+from repro.machine.workload import MODEL_BEHAVIOR
+from repro.models.base import DeviceKind
+from repro.util.errors import MachineError
+from repro.util.units import DOUBLE
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One application kernel class."""
+
+    name: str
+    description: str
+    #: float64 loads+stores per cell (streaming accounting).
+    doubles_per_cell: int
+    #: flops per cell.
+    flops_per_cell: int
+    #: Dependent device steps to cover an n x n grid (1 = fully parallel).
+    dependent_steps: "callable"
+
+    def cells_per_step(self, n: int) -> float:
+        return n * n / self.dependent_steps(n)
+
+    def arithmetic_intensity(self) -> float:
+        return self.flops_per_cell / (self.doubles_per_cell * DOUBLE)
+
+
+PROFILES: dict[str, KernelProfile] = {
+    "tealeaf_stencil": KernelProfile(
+        name="tealeaf_stencil",
+        description="TeaLeaf's 5-point matvec: bandwidth bound, one launch",
+        doubles_per_cell=4,
+        flops_per_cell=15,
+        dependent_steps=lambda n: 1,
+    ),
+    "eos": KernelProfile(
+        name="eos",
+        description="CloverLeaf ideal-gas EOS: compute rich, pointwise",
+        doubles_per_cell=4,  # density, energy in; pressure, soundspeed out
+        # Divides and sqrt are long-latency pipelines; their *flop
+        # equivalent* cost (the standard roofline accounting for
+        # transcendental-heavy kernels) puts the EOS right of the ridge on
+        # all three devices: ~10 flops/byte.
+        flops_per_cell=320,
+        dependent_steps=lambda n: 1,
+    ),
+    "advection": KernelProfile(
+        name="advection",
+        description="CloverLeaf donor-cell advection: gathers + selects",
+        doubles_per_cell=6,
+        flops_per_cell=10,
+        dependent_steps=lambda n: 1,
+    ),
+    "sweep": KernelProfile(
+        name="sweep",
+        description="SNAP wavefront sweep: one dependent step per diagonal",
+        doubles_per_cell=4,
+        flops_per_cell=7,
+        dependent_steps=lambda n: 2 * n - 1,
+    ),
+}
+
+
+def profile_runtime(
+    profile: KernelProfile | str,
+    model: str,
+    device: DeviceSpec | DeviceKind,
+    n: int,
+    repeats: int = 1,
+) -> float:
+    """Simulated seconds to apply one kernel of this profile over n x n."""
+    if isinstance(profile, str):
+        try:
+            profile = PROFILES[profile]
+        except KeyError:
+            raise MachineError(
+                f"unknown profile '{profile}'; have {', '.join(PROFILES)}"
+            ) from None
+    if isinstance(device, DeviceKind):
+        device = device_for(device)
+    if n < 1 or repeats < 1:
+        raise MachineError(f"invalid n={n} / repeats={repeats}")
+
+    behavior = MODEL_BEHAVIOR[model]
+    eff = efficiency(model, device.kind, "cg")
+    ws = WORKING_SET_FIELDS * n * n * DOUBLE
+    bw = device.stream_bw * eff * device.cache_factor(ws)
+
+    steps = profile.dependent_steps(n)
+    cells_per_step = n * n / steps
+    bytes_step = profile.doubles_per_cell * DOUBLE * cells_per_step
+    flops_step = profile.flops_per_cell * cells_per_step
+    t_step = max(bytes_step / bw, flops_step / device.peak_flops)
+    t_step += device.launch_overhead
+    if behavior.offload_regions:
+        t_step += device.region_overhead
+    return repeats * steps * t_step
+
+
+def compare_profiles(
+    device: DeviceKind, models: list[str], n: int = 1024
+) -> dict[str, dict[str, float]]:
+    """Penalty factors per profile: runtime relative to the fastest model.
+
+    Returns ``{profile: {model: penalty}}`` with penalty 1.0 for the
+    per-profile winner — how the *ranking* changes with the application
+    profile, the §8 question.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for name, profile in PROFILES.items():
+        seconds = {
+            model: profile_runtime(profile, model, device, n) for model in models
+        }
+        best = min(seconds.values())
+        out[name] = {model: t / best for model, t in seconds.items()}
+    return out

@@ -1,0 +1,38 @@
+"""Small shared utilities: errors, units, timers, and numeric helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    DeckError,
+    SolverError,
+    ConvergenceError,
+    ModelError,
+    MachineError,
+)
+from repro.util.units import (
+    GIGA,
+    MEGA,
+    KILO,
+    gb_per_s,
+    fmt_bytes,
+    fmt_seconds,
+    fmt_bandwidth,
+)
+from repro.util.timing import WallTimer, TimerRegistry
+
+__all__ = [
+    "ReproError",
+    "DeckError",
+    "SolverError",
+    "ConvergenceError",
+    "ModelError",
+    "MachineError",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "gb_per_s",
+    "fmt_bytes",
+    "fmt_seconds",
+    "fmt_bandwidth",
+    "WallTimer",
+    "TimerRegistry",
+]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without swallowing unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DeckError(ReproError):
+    """An input deck could not be parsed or contains inconsistent values."""
+
+
+class SolverError(ReproError):
+    """A solver was misconfigured or encountered an invalid state."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual norm (2-norm of ``b - A x``) when the solver stopped.
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ModelError(ReproError):
+    """A programming-model emulation was used incorrectly.
+
+    Raised for API-contract violations that the real model would reject at
+    compile time or runtime (e.g. launching an OpenCL kernel with unset
+    arguments, reading a Kokkos device view from the host without a copy).
+    """
+
+
+class MachineError(ReproError):
+    """The device performance simulator was configured inconsistently."""

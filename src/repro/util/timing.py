@@ -1,0 +1,85 @@
+"""Wall-clock timers used by the driver and the benchmark harness.
+
+These measure *host* wall time of the Python reproduction itself; simulated
+device time comes from :mod:`repro.machine.perfmodel` instead.  The driver
+keeps both so EXPERIMENTS.md can record the cost of the reproduction run
+alongside the simulated device seconds it predicts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class WallTimer:
+    """Accumulating stopwatch.
+
+    Example
+    -------
+    >>> t = WallTimer()
+    >>> with t:
+    ...     pass
+    >>> t.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    count: int = 0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    def __enter__(self) -> "WallTimer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per start/stop cycle (0 if never used)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TimerRegistry:
+    """Named collection of :class:`WallTimer` objects.
+
+    The TeaLeaf driver registers one timer per phase (``halo_exchange``,
+    ``solve``, ``summary``...) mirroring the profiling hooks in the reference
+    Fortran code.
+    """
+
+    def __init__(self) -> None:
+        self._timers: dict[str, WallTimer] = {}
+
+    def __getitem__(self, name: str) -> WallTimer:
+        return self._timers.setdefault(name, WallTimer())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def names(self) -> list[str]:
+        return sorted(self._timers)
+
+    def report(self) -> str:
+        """Render an aligned text report of all timers."""
+        lines = ["{:<24s} {:>10s} {:>8s}".format("phase", "total (s)", "calls")]
+        for name in self.names():
+            t = self._timers[name]
+            lines.append(f"{name:<24s} {t.total:>10.4f} {t.count:>8d}")
+        return "\n".join(lines)

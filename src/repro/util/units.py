@@ -1,0 +1,49 @@
+"""Unit constants and human-readable formatting helpers.
+
+Bandwidth figures in the paper (Table 2) are quoted in decimal GB/s, so the
+library consistently uses decimal SI prefixes (1 GB = 1e9 bytes), matching
+STREAM convention.
+"""
+
+from __future__ import annotations
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+#: Size of one double-precision floating point value in bytes.  TeaLeaf is a
+#: pure float64 code, as are all the paper's ports.
+DOUBLE = 8
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a bandwidth in bytes/second to decimal GB/s."""
+    return value / GIGA
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a decimal SI suffix, e.g. ``1.34 GB``."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    for suffix, scale in (("GB", GIGA), ("MB", MEGA), ("kB", KILO)):
+        if n >= scale:
+            return f"{n / scale:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Format a duration, picking a scale that keeps 3 significant figures."""
+    if t < 0:
+        raise ValueError(f"duration must be non-negative, got {t}")
+    if t >= 1.0:
+        return f"{t:.2f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.2f} ms"
+    if t >= 1e-6:
+        return f"{t * 1e6:.2f} us"
+    return f"{t * 1e9:.2f} ns"
+
+
+def fmt_bandwidth(bytes_per_s: float) -> str:
+    """Format a bandwidth in decimal GB/s as in the paper's Table 2."""
+    return f"{gb_per_s(bytes_per_s):.1f} GB/s"

@@ -1,0 +1,80 @@
+"""In-process message passing."""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.util.errors import ReproError
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        world = Communicator(2)
+        r0, r1 = world.rank(0), world.rank(1)
+        r0.Send(np.arange(4.0), dest=1, tag=7)
+        out = r1.Recv(source=0, tag=7)
+        np.testing.assert_array_equal(out, np.arange(4.0))
+
+    def test_payloads_are_copied(self):
+        world = Communicator(2)
+        payload = np.zeros(3)
+        world.rank(0).Send(payload, dest=1, tag=0)
+        payload[...] = 9.0  # mutate after send
+        out = world.rank(1).Recv(source=0, tag=0)
+        assert np.all(out == 0.0)
+
+    def test_tag_matching(self):
+        world = Communicator(2)
+        r0 = world.rank(0)
+        r0.Send(np.array([1.0]), dest=1, tag=1)
+        r0.Send(np.array([2.0]), dest=1, tag=2)
+        r1 = world.rank(1)
+        assert r1.Recv(source=0, tag=2)[0] == 2.0
+        assert r1.Recv(source=0, tag=1)[0] == 1.0
+
+    def test_fifo_within_matching_messages(self):
+        world = Communicator(2)
+        r0 = world.rank(0)
+        r0.Send(np.array([1.0]), dest=1, tag=0)
+        r0.Send(np.array([2.0]), dest=1, tag=0)
+        r1 = world.rank(1)
+        assert r1.Recv(source=0, tag=0)[0] == 1.0
+        assert r1.Recv(source=0, tag=0)[0] == 2.0
+
+    def test_missing_message_is_a_deadlock(self):
+        world = Communicator(2)
+        with pytest.raises(ReproError, match="deadlock"):
+            world.rank(0).Recv(source=1, tag=0)
+
+    def test_send_to_invalid_rank(self):
+        world = Communicator(2)
+        with pytest.raises(ReproError, match="invalid rank"):
+            world.rank(0).Send(np.zeros(1), dest=5)
+
+    def test_rank_bounds(self):
+        world = Communicator(2)
+        with pytest.raises(ReproError):
+            world.rank(2)
+
+    def test_accounting(self):
+        world = Communicator(2)
+        world.rank(0).Send(np.zeros(10), dest=1)
+        assert world.messages_sent == 1
+        assert world.bytes_sent == 80
+        assert world.pending(1) == 1
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        world = Communicator(3)
+        assert world.allreduce_sum([1.0, 2.0, 3.5]) == pytest.approx(6.5)
+        assert world.allreduce_count == 1
+
+    def test_allreduce_arity(self):
+        world = Communicator(3)
+        with pytest.raises(ReproError, match="expects 3"):
+            world.allreduce_sum([1.0])
+
+    def test_size_validation(self):
+        with pytest.raises(ReproError):
+            Communicator(0)

@@ -1,0 +1,81 @@
+"""Block decomposition: factor choice and window coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.decomposition import choose_factors, decompose
+from repro.util.errors import ReproError
+
+
+class TestChooseFactors:
+    def test_square_mesh_prefers_square_grid(self):
+        assert choose_factors(4, 100, 100) == (2, 2)
+        assert choose_factors(16, 64, 64) == (4, 4)
+
+    def test_wide_mesh_prefers_wide_grid(self):
+        px, py = choose_factors(4, 400, 100)
+        assert px > py
+
+    def test_tall_mesh_prefers_tall_grid(self):
+        px, py = choose_factors(4, 100, 400)
+        assert py > px
+
+    def test_prime_rank_count(self):
+        assert choose_factors(7, 700, 100) == (7, 1)
+
+    def test_single_rank(self):
+        assert choose_factors(1, 10, 10) == (1, 1)
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ReproError, match="cannot decompose"):
+            choose_factors(64, 4, 4)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ReproError):
+            choose_factors(0, 4, 4)
+
+
+class TestDecompose:
+    def test_windows_in_rank_order(self):
+        windows = decompose(8, 8, 4)
+        assert [w.rank for w in windows] == [0, 1, 2, 3]
+
+    def test_neighbour_topology_2x2(self):
+        w = decompose(8, 8, 4)
+        # row-major: 0 1 / 2 3
+        assert (w[0].right, w[0].up, w[0].left, w[0].down) == (1, 2, None, None)
+        assert (w[3].left, w[3].down, w[3].right, w[3].up) == (2, 1, None, None)
+
+    def test_neighbours_are_mutual(self):
+        windows = decompose(12, 18, 6)
+        by_rank = {w.rank: w for w in windows}
+        for w in windows:
+            if w.right is not None:
+                assert by_rank[w.right].left == w.rank
+            if w.up is not None:
+                assert by_rank[w.up].down == w.rank
+
+    @given(
+        nx=st.integers(4, 64),
+        ny=st.integers(4, 64),
+        nranks=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_windows_partition_the_grid(self, nx, ny, nranks):
+        try:
+            windows = decompose(nx, ny, nranks)
+        except ReproError:
+            return  # more ranks than cells along an axis: legal rejection
+        cover = np.zeros((ny, nx), dtype=int)
+        for w in windows:
+            assert w.cells > 0
+            cover[w.y0 : w.y1, w.x0 : w.x1] += 1
+        assert np.all(cover == 1)
+
+    @given(nx=st.integers(8, 64), nranks=st.sampled_from([2, 3, 4, 6, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_near_even_loads(self, nx, nranks):
+        windows = decompose(nx, nx, nranks)
+        sizes = [w.cells for w in windows]
+        assert max(sizes) - min(sizes) <= max(nx, nx)  # within one row/col strip

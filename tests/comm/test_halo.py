@@ -1,0 +1,105 @@
+"""Halo pack/unpack buffers and per-side reflection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.halo import Side, pack_edge, reflect_side, unpack_edge
+from repro.core.grid import Grid2D
+from repro.util.errors import ReproError
+
+
+def make_field(nx=6, ny=5, seed=0):
+    g = Grid2D(nx=nx, ny=ny)
+    rng = np.random.default_rng(seed)
+    a = g.allocate()
+    a[...] = rng.standard_normal(g.shape)
+    return g, a
+
+
+class TestPackUnpack:
+    def test_right_to_left_transfer(self):
+        """Packing A's right edge into B's left ghost makes them continuous."""
+        g, a = make_field(seed=1)
+        _, b = make_field(seed=2)
+        h = g.halo
+        buf = pack_edge(a, h, depth=2, side=Side.RIGHT)
+        unpack_edge(b, h, depth=2, side=Side.LEFT, buffer=buf)
+        # B's left ghost columns now hold A's two rightmost interior columns
+        np.testing.assert_array_equal(
+            b[:, h - 2 : h], a[:, h + g.nx - 2 : h + g.nx]
+        )
+
+    def test_up_down_transfer(self):
+        g, a = make_field(seed=3)
+        _, b = make_field(seed=4)
+        h = g.halo
+        buf = pack_edge(a, h, depth=1, side=Side.UP)
+        unpack_edge(b, h, depth=1, side=Side.DOWN, buffer=buf)
+        np.testing.assert_array_equal(b[h - 1, :], a[h + g.ny - 1, :])
+
+    def test_x_strips_include_corner_rows(self):
+        """x-direction buffers span all rows so corners propagate in the
+        standard x-then-y exchange ordering."""
+        g, a = make_field()
+        buf = pack_edge(a, g.halo, depth=1, side=Side.LEFT)
+        assert buf.size == g.shape[0]  # full column height, halos included
+
+    def test_buffer_size_checked(self):
+        g, a = make_field()
+        with pytest.raises(ReproError, match="does not fit"):
+            unpack_edge(a, g.halo, 1, Side.LEFT, np.zeros(3))
+
+    @pytest.mark.parametrize("depth", [0, 3])
+    def test_depth_bounds(self, depth):
+        g, a = make_field()
+        with pytest.raises(ReproError):
+            pack_edge(a, g.halo, depth, Side.LEFT)
+        with pytest.raises(ReproError):
+            unpack_edge(a, g.halo, depth, Side.LEFT, np.zeros(1))
+
+    @given(
+        nx=st.integers(2, 16),
+        ny=st.integers(2, 16),
+        depth=st.integers(1, 2),
+        side=st.sampled_from(list(Side)),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, nx, ny, depth, side, seed):
+        """pack(unpack(pack(x))) == pack(x) and interiors are untouched."""
+        g, a = make_field(nx, ny, seed)
+        h = g.halo
+        interior_before = a[g.inner()].copy()
+        buf = pack_edge(a, h, depth, side)
+        unpack_edge(a, h, depth, side, buf * 0 + 7.0)  # stomp ghosts
+        np.testing.assert_array_equal(a[g.inner()], interior_before)
+        buf2 = pack_edge(a, h, depth, side)
+        np.testing.assert_array_equal(buf2, buf)  # pack reads interior only
+
+
+class TestReflectSide:
+    def test_single_side_only(self):
+        g, a = make_field(seed=5)
+        h = g.halo
+        before = a.copy()
+        reflect_side(a, h, depth=2, side=Side.LEFT)
+        np.testing.assert_array_equal(a[:, h - 1], a[:, h])
+        np.testing.assert_array_equal(a[:, h - 2], a[:, h + 1])
+        # other sides untouched
+        np.testing.assert_array_equal(a[:, h + g.nx :], before[:, h + g.nx :])
+        np.testing.assert_array_equal(a[: h - 2, :], before[: h - 2, :])
+
+    @pytest.mark.parametrize("side", list(Side))
+    def test_all_sides(self, side):
+        g, a = make_field(seed=6)
+        reflect_side(a, g.halo, 1, side)
+        h = g.halo
+        if side is Side.LEFT:
+            np.testing.assert_array_equal(a[:, h - 1], a[:, h])
+        elif side is Side.RIGHT:
+            np.testing.assert_array_equal(a[:, h + g.nx], a[:, h + g.nx - 1])
+        elif side is Side.DOWN:
+            np.testing.assert_array_equal(a[h - 1, :], a[h, :])
+        else:
+            np.testing.assert_array_equal(a[h + g.ny, :], a[h + g.ny - 1, :])

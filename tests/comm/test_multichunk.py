@@ -1,0 +1,202 @@
+"""Decomposed (MPI+X) runs match single-chunk runs exactly."""
+
+import numpy as np
+import pytest
+
+from repro.comm.multichunk import MultiChunkPort
+from repro.core import fields as F
+from repro.core.deck import default_deck
+from repro.core.driver import TeaLeaf
+from repro.util.errors import ModelError
+
+
+def run_pair(solver: str, nranks: int, model: str = "openmp-f90", n: int = 32):
+    deck = default_deck(n=n, solver=solver, end_step=2, eps=1e-9)
+    single = TeaLeaf(deck, model=model)
+    single_result = single.run()
+    port = MultiChunkPort(deck.grid(), nranks, model=model)
+    multi = TeaLeaf(deck, port=port)
+    multi_result = multi.run()
+    return deck, single, single_result, multi, multi_result, port
+
+
+class TestEquivalenceWithSingleChunk:
+    @pytest.mark.parametrize("solver", ["cg", "chebyshev", "ppcg"])
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_solution_fields_match(self, solver, nranks):
+        deck, single, sres, multi, mres, _ = run_pair(solver, nranks)
+        g = deck.grid()
+        u_single = single.field(F.U)[g.inner()]
+        u_multi = multi.field(F.U)[g.inner()]
+        np.testing.assert_allclose(u_multi, u_single, rtol=1e-11, atol=1e-13)
+
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 6])
+    def test_iteration_counts_match(self, nranks):
+        _, _, sres, _, mres, _ = run_pair("cg", nranks)
+        assert mres.total_iterations == sres.total_iterations
+
+    def test_summaries_match(self):
+        _, _, sres, _, mres, _ = run_pair("cg", 4)
+        s, m = sres.final_summary, mres.final_summary
+        assert m.temperature == pytest.approx(s.temperature, rel=1e-12)
+        assert m.mass == pytest.approx(s.mass, rel=1e-12)
+        assert m.volume == pytest.approx(s.volume, rel=1e-12)
+
+    def test_works_with_offload_inner_model(self):
+        """MPI+X composes with an offload port per rank (here CUDA)."""
+        deck, single, _, multi, _, _ = run_pair("cg", 2, model="cuda", n=24)
+        g = deck.grid()
+        np.testing.assert_allclose(
+            multi.field(F.U)[g.inner()],
+            single.field(F.U)[g.inner()],
+            rtol=1e-11,
+        )
+
+    def test_uneven_decomposition(self):
+        """Mesh not divisible by the rank grid still reproduces exactly."""
+        deck = default_deck(n=30, solver="cg", end_step=1, eps=1e-9)
+        single = TeaLeaf(deck, model="openmp-f90")
+        single.run()
+        port = MultiChunkPort(deck.grid(), 4, model="openmp-f90")
+        multi = TeaLeaf(deck, port=port)
+        multi.run()
+        g = deck.grid()
+        np.testing.assert_allclose(
+            multi.field(F.U)[g.inner()],
+            single.field(F.U)[g.inner()],
+            rtol=1e-11,
+        )
+
+
+class TestCommunicationBehaviour:
+    def test_mailboxes_drain(self):
+        _, _, _, _, _, port = run_pair("cg", 4)
+        for r in range(port.world.size):
+            assert port.world.pending(r) == 0
+
+    def test_messages_scale_with_iterations(self):
+        _, _, sres, _, _, port = run_pair("cg", 2)
+        # one left-edge + one right-edge message pair per halo exchange;
+        # at least one exchange (of p) per CG iteration
+        assert port.world.messages_sent >= sres.total_iterations
+
+    def test_allreduce_per_reduction(self):
+        _, _, sres, _, _, port = run_pair("cg", 2)
+        # cg_init + (calc_w + calc_ur) per iteration, plus summary terms
+        assert port.world.allreduce_count >= 2 * sres.total_iterations
+
+    def test_conservation_across_chunks(self):
+        """The fixed-up internal-edge coefficients conserve total u."""
+        deck = default_deck(n=24, solver="cg", end_step=3, eps=1e-11)
+        port = MultiChunkPort(deck.grid(), 4)
+        from dataclasses import replace
+
+        app = TeaLeaf(replace(deck, summary_frequency=1), port=port)
+        result = app.run()
+        temps = [s.summary.temperature for s in result.steps]
+        for t in temps[1:]:
+            assert t == pytest.approx(temps[0], rel=1e-9)
+
+
+class TestDecompositionProperty:
+    """Hypothesis: decomposition is transparent for random configurations."""
+
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        n=st.integers(10, 40),
+        nranks=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_problems_decompose_transparently(self, n, nranks, seed):
+        from dataclasses import replace
+
+        from repro.core.state import Geometry, State
+
+        rng = np.random.default_rng(seed)
+        # a random hot rectangle inside the domain
+        x0, y0 = rng.uniform(0, 5, 2)
+        states = (
+            State(index=1, density=float(rng.uniform(1, 100)), energy=0.01),
+            State(
+                index=2,
+                density=float(rng.uniform(0.1, 1.0)),
+                energy=float(rng.uniform(5, 50)),
+                geometry=Geometry.RECTANGLE,
+                xmin=float(x0),
+                xmax=float(x0 + rng.uniform(1, 4)),
+                ymin=float(y0),
+                ymax=float(y0 + rng.uniform(1, 4)),
+            ),
+        )
+        deck = replace(
+            default_deck(n=n, solver="cg", end_step=1, eps=1e-9), states=states
+        )
+        single = TeaLeaf(deck, model="openmp-f90")
+        sres = single.run()
+        port = MultiChunkPort(deck.grid(), nranks)
+        multi = TeaLeaf(deck, port=port)
+        mres = multi.run()
+        g = deck.grid()
+        assert mres.total_iterations == sres.total_iterations
+        np.testing.assert_allclose(
+            multi.field(F.U)[g.inner()],
+            single.field(F.U)[g.inner()],
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+
+class TestHeterogeneousCompute:
+    """§8 future work: different programming models on different ranks."""
+
+    def test_mixed_models_match_single_chunk(self):
+        deck = default_deck(n=32, solver="cg", end_step=2, eps=1e-9)
+        single = TeaLeaf(deck, model="openmp-f90")
+        single.run()
+        port = MultiChunkPort(
+            deck.grid(), 4, model=["cuda", "openmp-f90", "kokkos", "opencl"]
+        )
+        multi = TeaLeaf(deck, port=port)
+        multi.run()
+        g = deck.grid()
+        np.testing.assert_allclose(
+            multi.field(F.U)[g.inner()],
+            single.field(F.U)[g.inner()],
+            rtol=1e-11,
+        )
+
+    def test_heterogeneous_name(self):
+        port = MultiChunkPort(
+            default_deck(n=16).grid(), 2, model=["cuda", "raja"]
+        )
+        assert port.model_name == "heterogeneous(cuda,raja)"
+        assert port.models == ["cuda", "raja"]
+
+    def test_uniform_list_keeps_plain_name(self):
+        port = MultiChunkPort(
+            default_deck(n=16).grid(), 2, model=["kokkos", "kokkos"]
+        )
+        assert port.model_name == "kokkos+mpi(2)"
+
+    def test_model_list_arity_checked(self):
+        with pytest.raises(ModelError, match="2 models given for 4 ranks"):
+            MultiChunkPort(default_deck(n=16).grid(), 4, model=["cuda", "raja"])
+
+
+class TestGuards:
+    def test_device_array_not_exposed(self):
+        port = MultiChunkPort(default_deck(n=16).grid(), 2)
+        with pytest.raises(ModelError, match="no single device array"):
+            port._device_array(F.U)
+
+    def test_state_shape_validated(self):
+        port = MultiChunkPort(default_deck(n=16).grid(), 2)
+        with pytest.raises(ModelError, match="shape"):
+            port.set_state(np.zeros((3, 3)), np.zeros((3, 3)))

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test-suite.
+
+Mesh sizes here are deliberately small: every port runs real numerics, and
+the cross-port equivalence matrix multiplies quickly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deck import Deck, default_deck
+from repro.core.grid import Grid2D
+from repro.core.state import generate_chunk
+from repro.models.base import available_models, make_port
+
+
+@pytest.fixture
+def grid() -> Grid2D:
+    return Grid2D(nx=12, ny=10)
+
+
+@pytest.fixture
+def deck() -> Deck:
+    return default_deck(n=24, solver="cg", end_step=1, eps=1e-9)
+
+
+@pytest.fixture
+def state_arrays(deck):
+    g = deck.grid()
+    density, energy = generate_chunk(list(deck.states), g)
+    return g, density, energy
+
+
+def port_for(model: str, grid: Grid2D):
+    """Fresh port (helper, not a fixture, for parametrised tests)."""
+    return make_port(model, grid)
+
+
+ALL_MODELS = available_models()
+HOST_MODELS = ["openmp-f90", "openmp-cpp", "raja", "raja-simd"]
+OFFLOAD_MODELS = ["openmp4", "openacc", "cuda", "opencl", "kokkos", "kokkos-hp"]
+
+
+def assert_fields_close(a: np.ndarray, b: np.ndarray, halo: int, tol: float = 1e-12):
+    """Interior-only comparison with a relative+absolute tolerance."""
+    ia = a[halo:-halo, halo:-halo]
+    ib = b[halo:-halo, halo:-halo]
+    np.testing.assert_allclose(ia, ib, rtol=tol, atol=tol)

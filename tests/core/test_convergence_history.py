@@ -1,0 +1,111 @@
+"""Residual-history recording and convergence-rate validation.
+
+Beyond asserting *that* the solvers converge, these tests validate the
+*rates* against Krylov/Chebyshev theory: the recorded residual trajectory
+of the Chebyshev phase must contract at least as fast as the polynomial
+bound ((sqrt(cn)-1)/(sqrt(cn)+1)) per iteration built from its own
+estimated spectral interval.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.deck import default_deck
+from repro.core.driver import TeaLeaf
+from repro.core.solvers.eigenvalue import EigenEstimate
+
+
+def solve_one(solver: str, n: int = 48, eps: float = 1e-10):
+    deck = default_deck(n=n, solver=solver, end_step=1, eps=eps)
+    run = TeaLeaf(deck, model="openmp-f90").run()
+    return deck, run.steps[0].solve
+
+
+class TestHistoryRecording:
+    @pytest.mark.parametrize("solver", ["cg", "chebyshev", "ppcg"])
+    def test_history_present_and_ordered(self, solver):
+        _, solve = solve_one(solver)
+        assert solve.history
+        its = [i for i, _ in solve.history]
+        assert its == sorted(its)
+        assert its[-1] == solve.iterations
+        assert solve.history[-1][1] == solve.error
+
+    def test_cg_history_one_sample_per_iteration(self):
+        _, solve = solve_one("cg")
+        assert len(solve.history) == solve.iterations
+
+    def test_chebyshev_history_sampled_at_checkpoints(self):
+        deck, solve = solve_one("chebyshev")
+        cheby_samples = [
+            (i, r) for i, r in solve.history if i > len(solve.cg_alphas)
+        ]
+        assert cheby_samples
+        gaps = np.diff([i for i, _ in cheby_samples])
+        assert all(g == deck.tl_check_frequency for g in gaps)
+
+    def test_final_residual_meets_tolerance(self):
+        deck, solve = solve_one("cg")
+        assert solve.history[-1][1] <= deck.tl_eps**2 * solve.initial_residual
+
+
+class TestConvergenceRates:
+    def test_cg_residual_decays_overall(self):
+        """CG residuals are not monotone iteration-to-iteration, but over
+        any 10-iteration window the trend must be strongly downward."""
+        _, solve = solve_one("cg", n=64)
+        rr = [r for _, r in solve.history]
+        for start in range(0, len(rr) - 10, 10):
+            assert rr[start + 10] < rr[start]
+
+    def test_chebyshev_rate_within_polynomial_bound(self):
+        """Between checkpoints, the Chebyshev residual contracts at least
+        as fast as ~the bound rate^(2*steps) on the squared norm (with
+        slack for the asymptotic regime)."""
+        deck, solve = solve_one("chebyshev", n=64, eps=1e-11)
+        estimate = EigenEstimate(solve.eigen_min, solve.eigen_max)
+        cn = estimate.condition_number
+        rate = (math.sqrt(cn) - 1.0) / (math.sqrt(cn) + 1.0)
+        bound_per_checkpoint = rate ** (2 * deck.tl_check_frequency)
+
+        cheby = [(i, r) for i, r in solve.history if i > len(solve.cg_alphas)]
+        assert len(cheby) >= 2
+        observed = [
+            cheby[k + 1][1] / cheby[k][1] for k in range(len(cheby) - 1)
+        ]
+        # every observed contraction at least as strong as 10x the bound
+        # (the bound is pessimistic; observed rates are usually far better)
+        for contraction in observed:
+            assert contraction <= bound_per_checkpoint * 10
+
+    def test_ppcg_contracts_faster_per_outer_iteration_than_cg(self):
+        """The polynomial preconditioner buys a much stronger per-outer-
+        iteration contraction — the whole point of PPCG."""
+        _, cg = solve_one("cg", n=64)
+        _, ppcg = solve_one("ppcg", n=64)
+
+        def geometric_rate(history):
+            # fit log residual vs iteration over the recorded samples
+            its = np.array([i for i, _ in history], dtype=float)
+            rrs = np.log([r for _, r in history])
+            slope = np.polyfit(its, rrs, 1)[0]
+            return math.exp(slope)
+
+        cg_rate = geometric_rate(cg.history)
+        outer = [(i, r) for i, r in ppcg.history if i > len(ppcg.cg_alphas)]
+        if len(outer) >= 2:
+            ppcg_rate = geometric_rate(outer)
+            assert ppcg_rate < cg_rate
+
+    def test_tighter_tolerance_extends_the_same_trajectory(self):
+        """Residual histories at two tolerances agree on their common
+        prefix — convergence is a property of the problem, not the goal."""
+        _, loose = solve_one("cg", eps=1e-6)
+        _, tight = solve_one("cg", eps=1e-10)
+        common = min(len(loose.history), len(tight.history)) - 1
+        for k in range(common):
+            assert loose.history[k][1] == pytest.approx(
+                tight.history[k][1], rel=1e-12
+            )

@@ -1,0 +1,121 @@
+"""Lanczos eigenvalue estimation from CG scalars."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import operators as ops
+from repro.core.deck import default_deck
+from repro.core.driver import TeaLeaf
+from repro.core.solvers.eigenvalue import (
+    EigenEstimate,
+    estimate_chebyshev_iterations,
+    estimate_eigenvalues,
+    lanczos_tridiagonal,
+)
+from repro.util.errors import SolverError
+
+
+class TestTridiagonal:
+    def test_shapes(self):
+        diag, off = lanczos_tridiagonal([0.5, 0.4, 0.3], [0.9, 0.8, 0.7])
+        assert diag.shape == (3,)
+        assert off.shape == (2,)
+
+    def test_entries(self):
+        alphas, betas = [0.5, 0.25], [0.16, 0.04]
+        diag, off = lanczos_tridiagonal(alphas, betas)
+        assert diag[0] == pytest.approx(1 / 0.5)
+        assert diag[1] == pytest.approx(1 / 0.25 + 0.16 / 0.5)
+        assert off[0] == pytest.approx(math.sqrt(0.16) / 0.5)
+
+    def test_needs_two_iterations(self):
+        with pytest.raises(SolverError, match="at least 2"):
+            lanczos_tridiagonal([0.5], [0.9])
+
+    def test_length_mismatch(self):
+        with pytest.raises(SolverError, match="mismatch"):
+            lanczos_tridiagonal([0.5, 0.4], [0.9])
+
+    def test_rejects_non_spd_scalars(self):
+        with pytest.raises(SolverError, match="SPD"):
+            lanczos_tridiagonal([0.5, -0.1], [0.9, 0.9])
+        with pytest.raises(SolverError, match="SPD"):
+            lanczos_tridiagonal([0.5, 0.5], [0.9, -0.9])
+
+
+class TestEstimateAgainstRealSpectrum:
+    def test_ritz_interval_within_safety_bounds(self):
+        """CG scalars from a real solve bracket the true spectrum of A."""
+        deck = default_deck(n=24, solver="cg", end_step=1, eps=1e-12)
+        app = TeaLeaf(deck, model="openmp-f90")
+        result = app.run()
+        solve = result.steps[0].solve
+        estimate = estimate_eigenvalues(solve.cg_alphas, solve.cg_betas)
+
+        # true spectrum via the assembled matrix
+        g = deck.grid()
+        kx = app.port.read_field("kx")
+        ky = app.port.read_field("ky")
+        A = ops.assemble_sparse_matrix(kx, ky, g).toarray()
+        true_eigs = np.linalg.eigvalsh(A)
+        lo, hi = true_eigs[0], true_eigs[-1]
+
+        # Ritz values approach from inside, then safety factors widen them;
+        # the estimate must produce a positive interval containing most of
+        # the spectrum and never exceed the safety-widened truth.
+        assert estimate.eigen_min > 0
+        assert estimate.eigen_min <= lo * 1.001
+        assert estimate.eigen_max >= hi * 0.90
+        assert estimate.eigen_max <= hi * 1.06  # 1.05 safety + slack
+
+    def test_estimate_from_constant_scalars_is_positive(self):
+        """The Lanczos T of positive CG scalars factors as B^T B, so the
+        estimate is always a positive interval (the SPD invariant)."""
+        estimate = estimate_eigenvalues([0.5] * 6, [0.9] * 6)
+        assert 0 < estimate.eigen_min < estimate.eigen_max
+
+
+class TestEigenEstimateProperties:
+    def test_derived_quantities(self):
+        e = EigenEstimate(eigen_min=1.0, eigen_max=9.0)
+        assert e.condition_number == pytest.approx(9.0)
+        assert e.theta == pytest.approx(5.0)
+        assert e.delta == pytest.approx(4.0)
+        assert e.sigma == pytest.approx(1.25)
+
+    @given(
+        lo=st.floats(0.01, 10.0),
+        spread=st.floats(1.001, 1000.0),
+        eps_exp=st.integers(2, 14),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_iteration_estimate_monotone_in_condition(self, lo, spread, eps_exp):
+        eps = 10.0**-eps_exp
+        tight = EigenEstimate(eigen_min=lo, eigen_max=lo * spread)
+        loose = EigenEstimate(eigen_min=lo, eigen_max=lo * spread * 4)
+        assert estimate_chebyshev_iterations(tight, eps) <= estimate_chebyshev_iterations(
+            loose, eps
+        )
+
+    def test_iteration_estimate_well_conditioned(self):
+        e = EigenEstimate(eigen_min=1.0, eigen_max=1.0)
+        assert estimate_chebyshev_iterations(e, 1e-10) == 1
+
+    def test_iteration_estimate_rejects_bad_eps(self):
+        e = EigenEstimate(eigen_min=1.0, eigen_max=2.0)
+        with pytest.raises(SolverError):
+            estimate_chebyshev_iterations(e, 0.0)
+
+    def test_iteration_estimate_predicts_real_convergence(self):
+        """The Chebyshev solver converges within ~2x the predicted count."""
+        deck = default_deck(n=48, solver="chebyshev", end_step=1, eps=1e-10)
+        app = TeaLeaf(deck, model="openmp-f90")
+        result = app.run()
+        solve = result.steps[0].solve
+        estimate = EigenEstimate(solve.eigen_min, solve.eigen_max)
+        predicted = estimate_chebyshev_iterations(estimate, deck.tl_eps)
+        cheby_iters = solve.iterations - len(solve.cg_alphas)
+        assert cheby_iters <= 2 * predicted + deck.tl_check_frequency

@@ -1,0 +1,115 @@
+"""Grid geometry: shapes, slices, coordinates, sub-grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.grid import HALO_DEPTH, Grid2D
+
+
+class TestConstruction:
+    def test_defaults(self):
+        g = Grid2D(nx=8, ny=4)
+        assert g.halo == HALO_DEPTH == 2
+        assert g.shape == (4 + 4, 8 + 4)
+        assert g.cells == 32
+
+    def test_spacing(self):
+        g = Grid2D(nx=10, ny=5, xmin=0.0, xmax=10.0, ymin=0.0, ymax=10.0)
+        assert g.dx == pytest.approx(1.0)
+        assert g.dy == pytest.approx(2.0)
+        assert g.cell_volume == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("nx,ny", [(0, 4), (4, 0), (-1, 4)])
+    def test_rejects_empty(self, nx, ny):
+        with pytest.raises(ValueError):
+            Grid2D(nx=nx, ny=ny)
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            Grid2D(nx=4, ny=4, xmin=1.0, xmax=1.0)
+
+    def test_rejects_bad_halo(self):
+        with pytest.raises(ValueError):
+            Grid2D(nx=4, ny=4, halo=0)
+
+
+class TestSlices:
+    def test_inner_selects_interior(self):
+        g = Grid2D(nx=6, ny=4)
+        a = g.allocate()
+        a[g.inner()] = 1.0
+        assert a.sum() == g.cells
+        # the halo is untouched
+        assert a[0, :].sum() == 0.0 and a[:, 0].sum() == 0.0
+
+    def test_inner_expansion(self):
+        g = Grid2D(nx=6, ny=4)
+        a = g.allocate()
+        a[g.inner(expand=g.halo)] = 1.0
+        assert a.sum() == a.size  # whole allocation
+
+    def test_inner_expand_bounds(self):
+        g = Grid2D(nx=6, ny=4)
+        with pytest.raises(ValueError):
+            g.inner(expand=g.halo + 1)
+        with pytest.raises(ValueError):
+            g.inner(expand=-1)
+
+    def test_allocate_fill(self):
+        g = Grid2D(nx=3, ny=3)
+        a = g.allocate(fill=7.5)
+        assert a.dtype == np.float64
+        assert np.all(a == 7.5)
+
+
+class TestCoordinates:
+    def test_cell_centres(self):
+        g = Grid2D(nx=4, ny=2, xmin=0.0, xmax=4.0, ymin=0.0, ymax=2.0)
+        cx = g.cell_centres_x()
+        assert len(cx) == 4 + 2 * g.halo
+        # first interior centre at xmin + dx/2
+        assert cx[g.halo] == pytest.approx(0.5)
+        assert cx[g.halo + 3] == pytest.approx(3.5)
+
+    def test_vertices_bracket_centres(self):
+        g = Grid2D(nx=5, ny=5)
+        vx = g.vertex_x()
+        cx = g.cell_centres_x()
+        assert len(vx) == len(cx) + 1
+        assert np.all(vx[:-1] < cx) and np.all(cx < vx[1:])
+
+    def test_halo_coordinates_extend_domain(self):
+        g = Grid2D(nx=4, ny=4, xmin=0.0, xmax=4.0)
+        cx = g.cell_centres_x()
+        assert cx[0] == pytest.approx(-1.5)  # two ghost layers out
+
+
+class TestSubgrid:
+    def test_subgrid_alignment(self):
+        g = Grid2D(nx=8, ny=8, xmin=0.0, xmax=8.0, ymin=0.0, ymax=8.0)
+        s = g.subgrid(2, 6, 0, 4)
+        assert (s.nx, s.ny) == (4, 4)
+        assert s.xmin == pytest.approx(2.0)
+        assert s.dx == pytest.approx(g.dx)
+        assert s.dy == pytest.approx(g.dy)
+
+    @pytest.mark.parametrize("window", [(-1, 4, 0, 4), (0, 9, 0, 4), (2, 2, 0, 4)])
+    def test_subgrid_rejects_bad_windows(self, window):
+        g = Grid2D(nx=8, ny=8)
+        with pytest.raises(ValueError):
+            g.subgrid(*window)
+
+    @given(
+        nx=st.integers(2, 30),
+        ny=st.integers(2, 30),
+        x0=st.integers(0, 10),
+        y0=st.integers(0, 10),
+    )
+    def test_subgrid_centres_match_parent(self, nx, ny, x0, y0):
+        """Sub-grid cell centres coincide with the parent's (bitwise)."""
+        g = Grid2D(nx=nx + x0, ny=ny + y0, xmin=0.0, xmax=1.0, ymin=0.0, ymax=1.0)
+        s = g.subgrid(x0, x0 + nx, y0, y0 + ny)
+        parent_cx = g.cell_centres_x()[g.halo + x0 : g.halo + x0 + nx]
+        sub_cx = s.cell_centres_x()[s.halo : s.halo + nx]
+        np.testing.assert_allclose(sub_cx, parent_cx, rtol=1e-14)

@@ -1,0 +1,212 @@
+"""Reference operators: stencil correctness against assembled matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import operators as ops
+from repro.core.grid import Grid2D
+
+
+def make_problem(nx=8, ny=6, dt=0.04, coefficient=ops.CONDUCTIVITY, seed=0):
+    g = Grid2D(nx=nx, ny=ny, xmin=0, xmax=1, ymin=0, ymax=1)
+    rng = np.random.default_rng(seed)
+    density = g.allocate()
+    density[...] = rng.uniform(0.5, 100.0, g.shape)
+    kx, ky = g.allocate(), g.allocate()
+    ops.init_coefficients(density, g, dt, coefficient, kx, ky)
+    return g, density, kx, ky
+
+
+class TestCoefficients:
+    def test_harmonic_mean_form(self):
+        g, density, kx, ky = make_problem()
+        h = g.halo
+        rx = 0.04 / (g.dx * g.dx)
+        # interior face between cells (k, j-1) and (k, j)
+        k, j = h + 2, h + 3
+        wl, wc = density[k, j - 1], density[k, j]
+        assert kx[k, j] == pytest.approx(rx * (wl + wc) / (2 * wl * wc))
+
+    def test_boundary_faces_zeroed(self):
+        g, _, kx, ky = make_problem()
+        h = g.halo
+        assert np.all(kx[:, : h + 1] == 0.0)
+        assert np.all(kx[:, h + g.nx :] == 0.0)
+        assert np.all(ky[: h + 1, :] == 0.0)
+        assert np.all(ky[h + g.ny :, :] == 0.0)
+
+    def test_recip_conductivity(self):
+        g = Grid2D(nx=4, ny=4)
+        density = g.allocate(fill=4.0)
+        w = ops.conduction_coefficient(density, ops.RECIP_CONDUCTIVITY)
+        assert np.all(w == 0.25)
+
+    def test_unknown_coefficient(self):
+        with pytest.raises(ValueError):
+            ops.conduction_coefficient(np.ones((4, 4)), "bogus")
+
+    def test_uniform_density_gives_uniform_coefficients(self):
+        g = Grid2D(nx=6, ny=6, xmin=0, xmax=1, ymin=0, ymax=1)
+        density = g.allocate(fill=10.0)
+        kx, ky = g.allocate(), g.allocate()
+        ops.init_coefficients(density, g, 0.1, ops.CONDUCTIVITY, kx, ky)
+        h = g.halo
+        inner_faces = kx[h:-h, h + 1 : h + g.nx]
+        assert np.allclose(inner_faces, inner_faces[0, 0])
+        # harmonic mean of equal values w is 1/w, scaled by rx
+        rx = 0.1 / g.dx**2
+        assert inner_faces[0, 0] == pytest.approx(rx / 10.0)
+
+
+class TestMatrixApplication:
+    def test_matches_assembled_sparse_matrix(self):
+        g, density, kx, ky = make_problem(nx=9, ny=7, seed=3)
+        h = g.halo
+        A = ops.assemble_sparse_matrix(kx, ky, g)
+        rng = np.random.default_rng(1)
+        u = g.allocate()
+        u[g.inner()] = rng.standard_normal((g.ny, g.nx))
+        out = g.allocate()
+        ops.apply_matrix(u, kx, ky, h, out)
+        expected = A @ u[g.inner()].ravel()
+        np.testing.assert_allclose(out[g.inner()].ravel(), expected, rtol=1e-13)
+
+    def test_matrix_is_symmetric(self):
+        g, _, kx, ky = make_problem(nx=7, ny=7, seed=5)
+        A = ops.assemble_sparse_matrix(kx, ky, g)
+        asym = abs(A - A.T).max()
+        assert asym < 1e-14
+
+    def test_matrix_is_positive_definite(self):
+        g, _, kx, ky = make_problem(nx=6, ny=6, seed=7)
+        A = ops.assemble_sparse_matrix(kx, ky, g).toarray()
+        eigs = np.linalg.eigvalsh(A)
+        assert eigs.min() > 0.0
+
+    def test_halo_contents_are_irrelevant(self):
+        """Zero boundary coefficients decouple A from ghost values."""
+        g, density, kx, ky = make_problem(seed=11)
+        rng = np.random.default_rng(2)
+        u = g.allocate()
+        u[...] = rng.standard_normal(g.shape)
+        out1, out2 = g.allocate(), g.allocate()
+        ops.apply_matrix(u, kx, ky, g.halo, out1)
+        u_messed = u.copy()
+        u_messed[0, :] = 1e30
+        u_messed[:, -1] = -1e30
+        ops.apply_matrix(u_messed, kx, ky, g.halo, out2)
+        np.testing.assert_array_equal(out1[g.inner()], out2[g.inner()])
+
+    def test_row_sums_conserve(self):
+        """sum(A u) == sum(u): zero-flux operator conserves total u."""
+        g, _, kx, ky = make_problem(nx=10, ny=10, seed=13)
+        rng = np.random.default_rng(3)
+        u = g.allocate()
+        u[g.inner()] = rng.uniform(0, 5, (g.ny, g.nx))
+        out = g.allocate()
+        ops.apply_matrix(u, kx, ky, g.halo, out)
+        assert out[g.inner()].sum() == pytest.approx(u[g.inner()].sum(), rel=1e-12)
+
+    def test_identity_limit(self):
+        """dt -> 0 makes A the identity."""
+        g = Grid2D(nx=5, ny=5)
+        density = g.allocate(fill=2.0)
+        kx, ky = g.allocate(), g.allocate()
+        ops.init_coefficients(density, g, 0.0, ops.CONDUCTIVITY, kx, ky)
+        u = g.allocate()
+        u[g.inner()] = np.arange(25, dtype=float).reshape(5, 5)
+        out = g.allocate()
+        ops.apply_matrix(u, kx, ky, g.halo, out)
+        np.testing.assert_array_equal(out[g.inner()], u[g.inner()])
+
+    def test_residual(self):
+        g, _, kx, ky = make_problem(seed=17)
+        rng = np.random.default_rng(4)
+        u, u0, r = g.allocate(), g.allocate(), g.allocate()
+        u[g.inner()] = rng.standard_normal((g.ny, g.nx))
+        u0[g.inner()] = rng.standard_normal((g.ny, g.nx))
+        ops.residual(u0, u, kx, ky, g.halo, r)
+        au = g.allocate()
+        ops.apply_matrix(u, kx, ky, g.halo, au)
+        np.testing.assert_allclose(
+            r[g.inner()], u0[g.inner()] - au[g.inner()], rtol=1e-14
+        )
+
+
+class TestReductions:
+    def test_dot_and_norm(self):
+        g = Grid2D(nx=4, ny=3)
+        a, b = g.allocate(), g.allocate()
+        rng = np.random.default_rng(5)
+        a[...] = rng.standard_normal(g.shape)
+        b[...] = rng.standard_normal(g.shape)
+        h = g.halo
+        expected = float(np.sum(a[h:-h, h:-h] * b[h:-h, h:-h]))
+        assert ops.dot(a, b, h) == pytest.approx(expected, rel=1e-14)
+        assert ops.norm2(a, h) == pytest.approx(
+            float(np.sum(a[h:-h, h:-h] ** 2)), rel=1e-14
+        )
+
+    def test_halo_excluded_from_reductions(self):
+        g = Grid2D(nx=4, ny=4)
+        a = g.allocate()
+        a[0, 0] = 1e6  # ghost cell
+        assert ops.norm2(a, g.halo) == 0.0
+
+
+class TestHaloUpdate:
+    def test_reflection_depth1(self):
+        g = Grid2D(nx=4, ny=4)
+        a = g.allocate()
+        a[g.inner()] = np.arange(16, dtype=float).reshape(4, 4)
+        ops.reflective_halo_update(a, g.halo, depth=1)
+        h = g.halo
+        # ghost column h-1 mirrors interior column h
+        np.testing.assert_array_equal(a[:, h - 1], a[:, h])
+        np.testing.assert_array_equal(a[:, h + 4], a[:, h + 3])
+        np.testing.assert_array_equal(a[h - 1, :], a[h, :])
+
+    def test_reflection_depth2_mirrors_in_order(self):
+        g = Grid2D(nx=4, ny=4)
+        a = g.allocate()
+        a[g.inner()] = np.arange(16, dtype=float).reshape(4, 4) + 1
+        ops.reflective_halo_update(a, g.halo, depth=2)
+        h = g.halo
+        np.testing.assert_array_equal(a[:, h - 2], a[:, h + 1])
+
+    @pytest.mark.parametrize("depth", [0, 3])
+    def test_depth_bounds(self, depth):
+        g = Grid2D(nx=4, ny=4)
+        with pytest.raises(ValueError):
+            ops.reflective_halo_update(g.allocate(), g.halo, depth=depth)
+
+    @given(
+        nx=st.integers(2, 12),
+        ny=st.integers(2, 12),
+        depth=st.integers(1, 2),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reflection_is_idempotent(self, nx, ny, depth, seed):
+        g = Grid2D(nx=nx, ny=ny)
+        rng = np.random.default_rng(seed)
+        a = g.allocate()
+        a[g.inner()] = rng.standard_normal((ny, nx))
+        ops.reflective_halo_update(a, g.halo, depth)
+        once = a.copy()
+        ops.reflective_halo_update(a, g.halo, depth)
+        np.testing.assert_array_equal(a, once)
+
+
+class TestFieldSummary:
+    def test_uniform_fields(self):
+        g = Grid2D(nx=4, ny=5, xmin=0, xmax=4, ymin=0, ymax=5)
+        density = g.allocate(fill=2.0)
+        energy = g.allocate(fill=3.0)
+        u = g.allocate(fill=6.0)
+        vol, mass, ie, temp = ops.field_summary(density, energy, u, g)
+        assert vol == pytest.approx(20.0)  # 20 unit cells
+        assert mass == pytest.approx(40.0)
+        assert ie == pytest.approx(120.0)
+        assert temp == pytest.approx(120.0)

@@ -1,0 +1,70 @@
+"""VTK/CSV field output."""
+
+import numpy as np
+import pytest
+
+from repro.core import fields as F
+from repro.core.deck import default_deck
+from repro.core.driver import TeaLeaf
+from repro.core.grid import Grid2D
+from repro.core.output import read_vtk_scalars, write_csv, write_vtk
+from repro.util.errors import ReproError
+
+
+@pytest.fixture
+def solved_app():
+    deck = default_deck(n=12, end_step=1)
+    app = TeaLeaf(deck, model="openmp-f90")
+    app.run()
+    return app
+
+
+class TestVTK:
+    def test_round_trip(self, tmp_path, solved_app):
+        g = solved_app.grid
+        u = solved_app.field(F.U)
+        energy = solved_app.field(F.ENERGY1)
+        path = write_vtk(tmp_path / "out.vtk", g, {"u": u, "energy": energy})
+        back = read_vtk_scalars(path)
+        np.testing.assert_allclose(back["u"], u[g.inner()], rtol=1e-12)
+        np.testing.assert_allclose(back["energy"], energy[g.inner()], rtol=1e-12)
+
+    def test_header_structure(self, tmp_path, solved_app):
+        g = solved_app.grid
+        path = write_vtk(tmp_path / "o.vtk", g, {"u": solved_app.field(F.U)})
+        text = path.read_text()
+        assert text.startswith("# vtk DataFile Version 3.0")
+        assert f"DIMENSIONS {g.nx} {g.ny} 1" in text
+        assert "SCALARS u double 1" in text
+
+    def test_shape_validated(self, tmp_path):
+        g = Grid2D(nx=4, ny=4)
+        with pytest.raises(ReproError, match="shape"):
+            write_vtk(tmp_path / "bad.vtk", g, {"u": np.zeros((2, 2))})
+
+    def test_empty_fields_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_vtk(tmp_path / "bad.vtk", Grid2D(nx=4, ny=4), {})
+
+    def test_read_rejects_non_vtk(self, tmp_path):
+        p = tmp_path / "not.vtk"
+        p.write_text("hello")
+        with pytest.raises(ReproError):
+            read_vtk_scalars(p)
+
+
+class TestCSV:
+    def test_columns_and_coordinates(self, tmp_path, solved_app):
+        g = solved_app.grid
+        path = write_csv(tmp_path / "out.csv", g, {"u": solved_app.field(F.U)})
+        lines = path.read_text().splitlines()
+        assert lines[0] == "x,y,u"
+        assert len(lines) == 1 + g.cells
+        x0, y0, u0 = (float(v) for v in lines[1].split(","))
+        assert x0 == pytest.approx(g.xmin + g.dx / 2)
+        assert y0 == pytest.approx(g.ymin + g.dy / 2)
+        assert u0 == pytest.approx(solved_app.field(F.U)[g.halo, g.halo])
+
+    def test_empty_fields_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_csv(tmp_path / "bad.csv", Grid2D(nx=4, ny=4), {})

@@ -1,0 +1,136 @@
+"""State validation and chunk generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.state import Geometry, State, generate_chunk
+from repro.util.errors import DeckError
+
+
+def background(density=1.0, energy=2.0) -> State:
+    return State(index=1, density=density, energy=energy)
+
+
+class TestStateValidation:
+    def test_background_ok(self):
+        s = background()
+        assert s.geometry is Geometry.BACKGROUND
+
+    def test_rejects_zero_density(self):
+        with pytest.raises(DeckError, match="density"):
+            State(index=1, density=0.0, energy=1.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(DeckError, match="energy"):
+            State(index=1, density=1.0, energy=-1.0)
+
+    def test_rejects_index_zero(self):
+        with pytest.raises(DeckError, match="indices"):
+            State(index=0, density=1.0, energy=1.0)
+
+    def test_state1_must_be_background(self):
+        with pytest.raises(DeckError, match="background"):
+            State(index=1, density=1, energy=1, geometry=Geometry.RECTANGLE,
+                  xmax=1, ymax=1)
+
+    def test_higher_states_need_geometry(self):
+        with pytest.raises(DeckError, match="geometry"):
+            State(index=2, density=1, energy=1)
+
+    def test_circle_needs_radius(self):
+        with pytest.raises(DeckError, match="radius"):
+            State(index=2, density=1, energy=1, geometry=Geometry.CIRCLE)
+
+    def test_empty_rectangle_rejected(self):
+        with pytest.raises(DeckError, match="empty"):
+            State(index=2, density=1, energy=1, geometry=Geometry.RECTANGLE,
+                  xmin=1.0, xmax=1.0, ymin=0.0, ymax=1.0)
+
+
+class TestGenerateChunk:
+    def test_background_everywhere(self):
+        g = Grid2D(nx=6, ny=6)
+        density, energy = generate_chunk([background(3.0, 4.0)], g)
+        assert np.all(density == 3.0)
+        assert np.all(energy == 4.0)
+
+    def test_rectangle_paints_centred_cells(self):
+        g = Grid2D(nx=10, ny=10, xmin=0, xmax=10, ymin=0, ymax=10)
+        rect = State(index=2, density=9.0, energy=1.0,
+                     geometry=Geometry.RECTANGLE, xmin=0.0, xmax=5.0,
+                     ymin=0.0, ymax=10.0)
+        density, _ = generate_chunk([background(), rect], g)
+        interior = density[g.inner()]
+        # left half painted: cell centres 0.5..4.5 < 5.0
+        assert np.all(interior[:, :5] == 9.0)
+        assert np.all(interior[:, 5:] == 1.0)
+
+    def test_rectangle_is_half_open(self):
+        """Cells whose centre lands exactly on xmax are excluded."""
+        g = Grid2D(nx=4, ny=4, xmin=0, xmax=4, ymin=0, ymax=4)
+        rect = State(index=2, density=9.0, energy=1.0,
+                     geometry=Geometry.RECTANGLE, xmin=0.0, xmax=2.5,
+                     ymin=0.0, ymax=4.0)
+        density, _ = generate_chunk([background(), rect], g)
+        interior = density[g.inner()]
+        assert np.all(interior[:, :2] == 9.0)  # centres 0.5, 1.5
+        assert np.all(interior[:, 3] == 1.0)  # centre 3.5
+
+    def test_circle(self):
+        g = Grid2D(nx=11, ny=11, xmin=0, xmax=11, ymin=0, ymax=11)
+        circ = State(index=2, density=5.0, energy=1.0, geometry=Geometry.CIRCLE,
+                     xmin=5.5, ymin=5.5, radius=2.0)
+        density, _ = generate_chunk([background(), circ], g)
+        interior = density[g.inner()]
+        assert interior[5, 5] == 5.0  # centre cell
+        assert interior[0, 0] == 1.0  # corner untouched
+        # painted region is within radius+cell diagonal of the centre
+        painted = np.argwhere(interior == 5.0)
+        dist = np.hypot(painted[:, 0] - 5, painted[:, 1] - 5)
+        assert dist.max() <= 2.0 + 1e-9
+
+    def test_point(self):
+        g = Grid2D(nx=8, ny=8, xmin=0, xmax=8, ymin=0, ymax=8)
+        pt = State(index=2, density=7.0, energy=1.0, geometry=Geometry.POINT,
+                   xmin=3.2, ymin=6.7)
+        density, _ = generate_chunk([background(), pt], g)
+        interior = density[g.inner()]
+        assert interior[6, 3] == 7.0
+        assert (interior == 7.0).sum() == 1
+
+    def test_later_states_override(self):
+        g = Grid2D(nx=6, ny=6, xmin=0, xmax=6, ymin=0, ymax=6)
+        a = State(index=2, density=2.0, energy=1.0, geometry=Geometry.RECTANGLE,
+                  xmin=0, xmax=6, ymin=0, ymax=6)
+        b = State(index=3, density=3.0, energy=1.0, geometry=Geometry.RECTANGLE,
+                  xmin=0, xmax=3, ymin=0, ymax=6)
+        density, _ = generate_chunk([background(), a, b], g)
+        interior = density[g.inner()]
+        assert np.all(interior[:, :3] == 3.0)
+        assert np.all(interior[:, 3:] == 2.0)
+
+    def test_states_sorted_by_index(self):
+        g = Grid2D(nx=4, ny=4, xmin=0, xmax=4, ymin=0, ymax=4)
+        b = State(index=3, density=3.0, energy=1.0, geometry=Geometry.RECTANGLE,
+                  xmin=0, xmax=4, ymin=0, ymax=4)
+        a = State(index=2, density=2.0, energy=1.0, geometry=Geometry.RECTANGLE,
+                  xmin=0, xmax=4, ymin=0, ymax=4)
+        density, _ = generate_chunk([b, background(), a], g)  # shuffled input
+        assert np.all(density[g.inner()] == 3.0)  # state 3 wins
+
+    def test_missing_background_rejected(self):
+        g = Grid2D(nx=4, ny=4)
+        s2 = State(index=2, density=1, energy=1, geometry=Geometry.RECTANGLE,
+                   xmin=0, xmax=1, ymin=0, ymax=1)
+        with pytest.raises(DeckError, match="state 1"):
+            generate_chunk([s2], g)
+
+    def test_duplicate_indices_rejected(self):
+        g = Grid2D(nx=4, ny=4)
+        with pytest.raises(DeckError, match="duplicate"):
+            generate_chunk([background(), background()], g)
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(DeckError):
+            generate_chunk([], Grid2D(nx=4, ny=4))

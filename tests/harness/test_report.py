@@ -1,0 +1,57 @@
+"""Report rendering."""
+
+from repro.harness.report import (
+    render_barchart,
+    render_checks,
+    render_series,
+    render_table,
+)
+from repro.harness.result import Check
+
+
+class TestTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["a", "bb"], [["x", "1"], ["yyy", "22"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_numeric_cells_stringified(self):
+        out = render_table(["n"], [[42]])
+        assert "42" in out
+
+
+class TestBarchart:
+    def test_bars_scale(self):
+        out = render_barchart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert render_barchart([]) == "(no data)"
+
+    def test_minimum_one_char_bar(self):
+        out = render_barchart([("a", 1000.0), ("b", 0.001)], width=10)
+        assert out.splitlines()[1].count("#") == 1
+
+
+class TestSeries:
+    def test_columns_per_series(self):
+        out = render_series("n", [1, 2], {"s1": [0.1, 0.2], "s2": [1.0, 2.0]})
+        header = out.splitlines()[0]
+        assert "s1" in header and "s2" in header
+        assert len(out.splitlines()) == 4
+
+
+class TestChecks:
+    def test_pass_fail_lines(self):
+        out = render_checks(
+            [Check("good", True, "ok"), Check("bad", False, "nope")]
+        )
+        assert "[PASS] good" in out
+        assert "[FAIL] bad" in out
+
+    def test_empty(self):
+        assert render_checks([]) == "(no checks)"

@@ -1,0 +1,52 @@
+"""Experiment runner and EXPERIMENTS.md generation."""
+
+import pytest
+
+from repro.harness.result import Check, ExperimentResult, bound_check, ratio_check
+from repro.harness.runner import (
+    experiment_ids,
+    run_experiment,
+    write_experiments_md,
+)
+from repro.util.errors import ReproError
+
+
+class TestResultTypes:
+    def test_ratio_check_tolerance(self):
+        assert ratio_check("x", 1.10, 1.0, 0.12).passed
+        assert not ratio_check("x", 1.30, 1.0, 0.12).passed
+
+    def test_bound_check(self):
+        assert bound_check("x", 1.0, 2.0).passed
+        assert not bound_check("x", 3.0, 2.0).passed
+
+    def test_experiment_result_pass_aggregation(self):
+        r = ExperimentResult(
+            "id", "t", "d", "",
+            checks=[Check("a", True, ""), Check("b", False, "")],
+        )
+        assert not r.passed
+        assert [c.name for c in r.failed_checks] == ["b"]
+
+
+class TestRunner:
+    def test_ids(self):
+        assert experiment_ids() == [
+            "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12",
+        ]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_write_experiments_md(self, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        results = [
+            ExperimentResult("table1", "Title", "Desc", "body",
+                             checks=[Check("c", True, "ok")]),
+        ]
+        out = write_experiments_md(path, quick=True, results=results)
+        text = out.read_text()
+        assert "## Title" in text
+        assert "[PASS] c" in text
+        assert "1/1 checks passed" in text

@@ -1,0 +1,114 @@
+"""The efficiency calibration table and its paper citations."""
+
+import pytest
+
+from repro.machine.calibration import (
+    all_entries,
+    calibration_entry,
+    efficiency,
+    models_for_device,
+)
+from repro.models.base import DeviceKind, available_models
+from repro.util.errors import MachineError
+
+
+class TestTableIntegrity:
+    def test_every_entry_cites_the_paper(self):
+        for entry in all_entries():
+            assert entry.citation, f"{entry.model}/{entry.device}"
+            if entry.measured_in_paper:
+                assert "§" in entry.citation or "Fig" in entry.citation
+
+    def test_efficiencies_in_range(self):
+        for entry in all_entries():
+            for solver, eff in entry.efficiency.items():
+                assert 0.0 < eff <= 1.0, (entry.model, solver)
+
+    def test_entries_reference_registered_models(self):
+        names = set(available_models())
+        for entry in all_entries():
+            assert entry.model in names
+
+    def test_no_calibration_without_capability(self):
+        """A calibrated (model, device) pair must be supported per Table 1."""
+        from repro.models.base import get_model
+
+        for entry in all_entries():
+            caps = get_model(entry.model).capabilities
+            assert caps.supports(entry.device), (entry.model, entry.device)
+
+
+class TestLookup:
+    def test_efficiency_lookup(self):
+        assert efficiency("cuda", DeviceKind.GPU, "cg") == pytest.approx(0.88)
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(MachineError, match="no calibration"):
+            efficiency("cuda", DeviceKind.CPU, "cg")
+
+    def test_jacobi_falls_back_to_cg(self):
+        assert efficiency("cuda", DeviceKind.GPU, "jacobi") == efficiency(
+            "cuda", DeviceKind.GPU, "cg"
+        )
+
+    def test_models_for_device_cited_only(self):
+        cited = models_for_device(DeviceKind.GPU)
+        assert "cuda" in cited and "opencl" in cited
+        assert "openmp4" not in cited  # Experimental: not in Figure 9
+        everything = models_for_device(DeviceKind.GPU, cited_only=False)
+        assert "openmp4" in everything
+
+
+class TestPaperRelations:
+    """The published runtime ratios are inverse efficiency ratios."""
+
+    def test_cpp_chebyshev_penalty(self):
+        f90 = efficiency("openmp-f90", DeviceKind.CPU, "chebyshev")
+        cpp = efficiency("openmp-cpp", DeviceKind.CPU, "chebyshev")
+        assert f90 / cpp == pytest.approx(1.15, rel=0.01)
+
+    def test_raja_penalties(self):
+        f90 = efficiency("openmp-f90", DeviceKind.CPU, "cg")
+        assert f90 / efficiency("raja", DeviceKind.CPU, "cg") == pytest.approx(1.2)
+        f90c = efficiency("openmp-f90", DeviceKind.CPU, "chebyshev")
+        assert f90c / efficiency("raja", DeviceKind.CPU, "chebyshev") == pytest.approx(1.4)
+
+    def test_opencl_matches_cuda_on_gpu(self):
+        cuda = efficiency("cuda", DeviceKind.GPU, "cg")
+        opencl = efficiency("opencl", DeviceKind.GPU, "cg")
+        assert abs(cuda / opencl - 1.0) < 0.03
+
+    def test_kokkos_gpu_cg_anomaly(self):
+        cuda = efficiency("cuda", DeviceKind.GPU, "cg")
+        kokkos = efficiency("kokkos", DeviceKind.GPU, "cg")
+        assert cuda / kokkos == pytest.approx(1.5, rel=0.01)
+
+    def test_kokkos_hp_halves_knc_cg(self):
+        flat = efficiency("kokkos", DeviceKind.KNC, "cg")
+        hp = efficiency("kokkos-hp", DeviceKind.KNC, "cg")
+        assert hp / flat == pytest.approx(2.0, rel=0.05)
+
+    def test_opencl_knc_cg_3x(self):
+        best = efficiency("openmp-f90", DeviceKind.KNC, "cg")
+        opencl = efficiency("opencl", DeviceKind.KNC, "cg")
+        assert best / opencl == pytest.approx(3.0, rel=0.05)
+
+    def test_device_optimised_top_their_devices(self):
+        for kind, best in (
+            (DeviceKind.CPU, "openmp-f90"),
+            (DeviceKind.GPU, "cuda"),
+            (DeviceKind.KNC, "openmp-f90"),
+        ):
+            best_eff = min(
+                calibration_entry(best, kind).efficiency[s]
+                for s in ("cg", "chebyshev", "ppcg")
+            )
+            for model in models_for_device(kind):
+                if model == best:
+                    continue
+                for solver in ("cg", "chebyshev", "ppcg"):
+                    assert efficiency(model, kind, solver) <= best_eff + 1e-9, (
+                        model,
+                        kind,
+                        solver,
+                    )

@@ -1,0 +1,84 @@
+"""The KNL extension device (§8 future work, estimates only)."""
+
+import pytest
+
+from repro.machine.devices import KNC_5110P
+from repro.machine.extensions import (
+    KNL_7210,
+    KNL_EFFICIENCY_ESTIMATES,
+    knl_models,
+    mcdram_speedup,
+    project_knl,
+)
+from repro.util.errors import MachineError
+
+
+class TestDeviceModel:
+    def test_mcdram_is_the_cache_tier(self):
+        """TeaLeaf working sets fit MCDRAM, so they see the full boost."""
+        assert mcdram_speedup(2048) == pytest.approx(KNL_7210.cache_bw_multiplier)
+        assert mcdram_speedup(4096) == pytest.approx(KNL_7210.cache_bw_multiplier)
+
+    def test_effective_bandwidth_exceeds_knc(self):
+        """The §8 motivation: HBM turns the Phi into a >2x faster target."""
+        knl_bw = KNL_7210.stream_bw * mcdram_speedup(2048)
+        assert knl_bw > 2.0 * KNC_5110P.stream_bw
+
+    def test_self_hosting_removes_offload_costs(self):
+        assert KNL_7210.region_overhead < KNC_5110P.region_overhead / 5
+        assert KNL_7210.transfer_bw > 10 * KNC_5110P.transfer_bw
+
+
+class TestProjections:
+    def test_projection_runs(self):
+        p = project_knl("openmp-f90", "cg", n=512, steps=2)
+        assert p.seconds > 0
+        assert p.efficiency == KNL_EFFICIENCY_ESTIMATES["openmp-f90"]["cg"]
+
+    def test_knl_beats_knc_for_every_model(self):
+        """Every model's projected KNL time beats its KNC time — the HBM
+        and maturity gains the paper anticipates."""
+        from repro.harness.experiments import projected_runtime
+        from repro.models.base import DeviceKind
+
+        for model in ("openmp-f90", "openmp4", "kokkos", "opencl"):
+            knl = project_knl(model, "cg", n=1024, steps=2).seconds
+            knc = projected_runtime(model, DeviceKind.KNC, "cg", 1024, 2).total
+            assert knl < knc, model
+
+    def test_openmp4_cg_gap_narrows_on_knl(self):
+        """Self-hosting shrinks the CG offload penalty vs native OpenMP."""
+        from repro.harness.experiments import projected_runtime
+        from repro.models.base import DeviceKind
+
+        n = 1024
+        knc_gap = (
+            projected_runtime("openmp4", DeviceKind.KNC, "cg", n, 2).total
+            / projected_runtime("openmp-f90", DeviceKind.KNC, "cg", n, 2).total
+        )
+        knl_gap = (
+            project_knl("openmp4", "cg", n=n).seconds
+            / project_knl("openmp-f90", "cg", n=n).seconds
+        )
+        assert knl_gap < knc_gap
+
+    def test_unknown_estimate_rejected(self):
+        with pytest.raises(MachineError, match="no KNL estimate"):
+            project_knl("cuda", "cg")
+
+    def test_models_listed(self):
+        assert "kokkos-hp" in knl_models()
+        assert "cuda" not in knl_models()  # no NVIDIA hardware here
+
+
+class TestEstimateHygiene:
+    def test_estimates_in_range(self):
+        for model, per_solver in KNL_EFFICIENCY_ESTIMATES.items():
+            for solver, eff in per_solver.items():
+                assert 0.0 < eff <= 1.0, (model, solver)
+
+    def test_hp_still_beats_flat_kokkos(self):
+        assert (
+            KNL_EFFICIENCY_ESTIMATES["kokkos-hp"]["cg"]
+            > KNL_EFFICIENCY_ESTIMATES["kokkos"]["cg"]
+        )

@@ -1,0 +1,87 @@
+"""Iteration measurement and O(n) growth projection."""
+
+import pytest
+
+from repro.core.deck import default_deck
+from repro.machine.iterations import (
+    MEASUREMENT_EPS,
+    IterationModel,
+    fit_iteration_model,
+    measure_iterations,
+)
+from repro.util.errors import MachineError
+
+
+@pytest.fixture(scope="module")
+def cg_model() -> IterationModel:
+    # small meshes so the fit runs quickly in CI
+    return fit_iteration_model("cg", meshes=(24, 32, 48, 64))
+
+
+class TestMeasurement:
+    def test_measure_matches_direct_run(self):
+        from repro.core.driver import TeaLeaf
+
+        deck = default_deck(n=24, solver="cg", end_step=2, eps=1e-8)
+        wl = measure_iterations(deck)
+        run = TeaLeaf(deck, model="openmp-f90").run()
+        assert wl.total_outer == run.total_iterations
+        assert len(wl.steps) == 2
+
+
+class TestFit:
+    def test_growth_is_nearly_linear(self, cg_model):
+        """CG iterations grow like sqrt(kappa) = O(n) — verified on data."""
+        assert cg_model.slope > 0
+        assert cg_model.r_squared > 0.98
+
+    def test_projection_monotone_in_mesh(self, cg_model):
+        counts = [cg_model.outer_per_step(n) for n in (64, 128, 512, 4096)]
+        assert counts == sorted(counts)
+
+    def test_projection_monotone_in_tolerance(self, cg_model):
+        loose = cg_model.outer_per_step(256, eps=1e-6)
+        tight = cg_model.outer_per_step(256, eps=1e-14)
+        assert tight > loose
+
+    def test_eps_scaling_is_logarithmic(self, cg_model):
+        base = cg_model.outer_per_step(256, eps=MEASUREMENT_EPS)
+        doubled = cg_model.outer_per_step(256, eps=MEASUREMENT_EPS**2)
+        assert doubled == pytest.approx(2 * base, rel=0.02)
+
+    def test_projection_brackets_measurement(self, cg_model):
+        """Projected counts at measured meshes match the measurements."""
+        for n, measured in zip(cg_model.fit_meshes, cg_model.fit_outer):
+            projected = cg_model.outer_per_step(n)
+            assert projected == pytest.approx(measured, abs=3)
+
+    def test_invalid_args(self, cg_model):
+        with pytest.raises(MachineError):
+            cg_model.outer_per_step(0)
+        with pytest.raises(MachineError):
+            cg_model.outer_per_step(10, eps=2.0)
+
+
+class TestChebyshevRounding:
+    def test_outer_lands_on_checkpoint(self):
+        model = fit_iteration_model("chebyshev", meshes=(48, 64))
+        for n in (96, 256, 1024):
+            outer = model.outer_per_step(n)
+            assert (outer - 1) % model.check_frequency == 0
+
+    def test_bootstrap_recorded(self):
+        model = fit_iteration_model("chebyshev", meshes=(48, 64))
+        assert model.bootstrap_per_step == default_deck().tl_cg_eigen_steps
+
+
+class TestWorkloadConstruction:
+    def test_workload_shape(self, cg_model):
+        wl = cg_model.workload(128, steps=5)
+        assert len(wl.steps) == 5
+        assert wl.solver == "cg"
+        assert all(s.outer == wl.steps[0].outer for s in wl.steps)
+
+    def test_caching(self):
+        a = fit_iteration_model("cg", meshes=(24, 32, 48, 64))
+        b = fit_iteration_model("cg", meshes=(24, 32, 48, 64))
+        assert a is b  # lru_cache

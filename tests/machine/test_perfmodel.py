@@ -1,0 +1,113 @@
+"""The runtime predictor: exact arithmetic on hand-built traces."""
+
+import pytest
+
+from repro.machine.devices import CPU_E5_2670x2, GPU_K20X
+from repro.machine.perfmodel import WORKING_SET_FIELDS, PerformanceModel, RuntimeBreakdown
+from repro.models.tracing import Trace, TransferDirection
+from repro.util.units import DOUBLE
+
+
+def big_cells(device) -> int:
+    """A cell count whose working set is far past the cache decay."""
+    return int(device.llc_bytes * device.cache_decay / (WORKING_SET_FIELDS * DOUBLE)) * 4
+
+
+class TestKernelTiming:
+    def test_bandwidth_bound_kernel(self):
+        device = CPU_E5_2670x2
+        pm = PerformanceModel(device)
+        cells = big_cells(device)
+        nbytes = 10**9
+        trace = Trace()
+        trace.kernel("k", bytes_moved=nbytes, flops=0, cells=cells)
+        bd = pm.time_events(trace.events, "openmp-f90", "cg")
+        expected = nbytes / (device.stream_bw * 0.90) + device.launch_overhead
+        assert bd.total == pytest.approx(expected, rel=1e-12)
+        assert bd.kernel_launches == 1
+        assert bd.streamed_bytes == nbytes
+
+    def test_cache_boost_small_working_set(self):
+        device = CPU_E5_2670x2
+        pm = PerformanceModel(device)
+        small = pm.effective_bandwidth("openmp-f90", "cg", cells=1000)
+        large = pm.effective_bandwidth("openmp-f90", "cg", cells=big_cells(device))
+        assert small == pytest.approx(large * device.cache_bw_multiplier)
+
+    def test_reduction_latency_charged(self):
+        device = GPU_K20X
+        pm = PerformanceModel(device)
+        trace = Trace()
+        trace.kernel("k", bytes_moved=8, flops=0, cells=1, has_reduction=True)
+        bd = pm.time_events(trace.events, "cuda", "cg")
+        assert bd.reductions == pytest.approx(device.reduction_latency)
+        assert bd.reduction_count == 1
+
+    def test_region_overhead_charged(self):
+        device = GPU_K20X
+        pm = PerformanceModel(device)
+        trace = Trace()
+        for _ in range(5):
+            trace.region("target:k")
+        bd = pm.time_events(trace.events, "cuda", "cg")
+        assert bd.regions == pytest.approx(5 * device.region_overhead)
+        assert bd.region_entries == 5
+
+    def test_transfer_time(self):
+        device = GPU_K20X
+        pm = PerformanceModel(device)
+        trace = Trace()
+        trace.transfer("map", 6 * 10**9, TransferDirection.H2D)
+        bd = pm.time_events(trace.events, "cuda", "cg")
+        assert bd.transfers == pytest.approx(1.0 + device.transfer_latency)
+        assert bd.transferred_bytes == 6 * 10**9
+
+    def test_reduction_pass_marker_is_free(self):
+        pm = PerformanceModel(GPU_K20X)
+        trace = Trace()
+        trace.reduction_pass("partials", 1024)
+        bd = pm.time_events(trace.events, "cuda", "cg")
+        assert bd.total == 0.0
+
+    def test_override_efficiency(self):
+        device = CPU_E5_2670x2
+        pm = PerformanceModel(device)
+        cells = big_cells(device)
+        bw = pm.effective_bandwidth("stream", "cg", cells, override_efficiency=1.0)
+        assert bw == pytest.approx(device.stream_bw)
+
+
+class TestBreakdown:
+    def test_addition(self):
+        a = RuntimeBreakdown(compute=1.0, launch=0.5, streamed_bytes=100, kernel_launches=2)
+        b = RuntimeBreakdown(compute=2.0, transfers=0.25, streamed_bytes=50)
+        c = a + b
+        assert c.compute == 3.0
+        assert c.launch == 0.5
+        assert c.transfers == 0.25
+        assert c.streamed_bytes == 150
+        assert c.kernel_launches == 2
+
+    def test_achieved_bandwidth(self):
+        bd = RuntimeBreakdown(compute=2.0, streamed_bytes=10**9)
+        assert bd.achieved_bandwidth() == pytest.approx(5e8)
+
+    def test_overhead_fraction(self):
+        bd = RuntimeBreakdown(compute=3.0, launch=1.0)
+        assert bd.overhead_fraction == pytest.approx(0.25)
+        assert RuntimeBreakdown().overhead_fraction == 0.0
+
+    def test_empty_total(self):
+        assert RuntimeBreakdown().total == 0.0
+        assert RuntimeBreakdown().achieved_bandwidth() == 0.0
+
+    def test_tag_filtering_through_time_trace(self):
+        pm = PerformanceModel(CPU_E5_2670x2)
+        trace = Trace()
+        with trace.section("solve"):
+            trace.kernel("a", 800, 0, 100)
+        trace.kernel("b", 800, 0, 100)
+        solve_only = pm.time_trace(trace, "openmp-f90", "cg", tag="solve")
+        everything = pm.time_trace(trace, "openmp-f90", "cg")
+        assert solve_only.kernel_launches == 1
+        assert everything.kernel_launches == 2

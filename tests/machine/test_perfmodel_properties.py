@@ -1,0 +1,87 @@
+"""Property tests: the runtime predictor behaves like a cost function."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.devices import DEVICES, GPU_K20X
+from repro.machine.perfmodel import PerformanceModel
+from repro.models.base import DeviceKind
+from repro.models.tracing import Trace, TransferDirection
+
+
+def random_trace(draw_spec: list[tuple[str, int, int, bool]]) -> Trace:
+    t = Trace()
+    for name, nbytes, cells, reduction in draw_spec:
+        t.kernel(name, nbytes, 0, cells, has_reduction=reduction)
+    return t
+
+
+event_spec = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(8, 10**9),
+        st.integers(1, 10**7),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestCostFunctionProperties:
+    @given(spec=event_spec)
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_and_zero_iff_empty(self, spec):
+        pm = PerformanceModel(GPU_K20X)
+        bd = pm.time_trace(random_trace(spec), "cuda", "cg")
+        assert bd.total >= 0.0
+        assert (bd.total == 0.0) == (len(spec) == 0)
+
+    @given(spec=event_spec, extra=event_spec)
+    @settings(max_examples=40, deadline=None)
+    def test_additive_over_concatenation(self, spec, extra):
+        pm = PerformanceModel(GPU_K20X)
+        whole = pm.time_trace(random_trace(spec + extra), "cuda", "cg")
+        parts = pm.time_trace(random_trace(spec), "cuda", "cg") + pm.time_trace(
+            random_trace(extra), "cuda", "cg"
+        )
+        assert whole.total == pytest.approx(parts.total, rel=1e-12)
+        assert whole.streamed_bytes == parts.streamed_bytes
+        assert whole.kernel_launches == parts.kernel_launches
+
+    @given(
+        nbytes=st.integers(8, 10**9),
+        cells=st.integers(1, 10**7),
+        factor=st.integers(2, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_bytes(self, nbytes, cells, factor):
+        pm = PerformanceModel(GPU_K20X)
+        small = Trace()
+        small.kernel("k", nbytes, 0, cells)
+        big = Trace()
+        big.kernel("k", nbytes * factor, 0, cells)
+        assert (
+            pm.time_trace(big, "cuda", "cg").total
+            > pm.time_trace(small, "cuda", "cg").total
+        )
+
+    @given(nbytes=st.integers(8, 10**8))
+    @settings(max_examples=30, deadline=None)
+    def test_transfers_priced_by_pcie(self, nbytes):
+        pm = PerformanceModel(GPU_K20X)
+        t = Trace()
+        t.transfer("x", nbytes, TransferDirection.H2D)
+        bd = pm.time_trace(t, "cuda", "cg")
+        expected = nbytes / GPU_K20X.transfer_bw + GPU_K20X.transfer_latency
+        assert bd.transfers == pytest.approx(expected)
+
+    def test_achieved_bandwidth_bounded_by_cache_boosted_stream(self):
+        """No trace can beat the device's best effective bandwidth."""
+        for device in DEVICES.values():
+            pm = PerformanceModel(device)
+            t = Trace()
+            t.kernel("k", 10**9, 0, 10**6)
+            bd = pm.time_trace(t, "openmp-f90" if device.kind is not DeviceKind.GPU else "cuda", "cg")
+            ceiling = device.stream_bw * device.cache_bw_multiplier
+            assert bd.achieved_bandwidth() <= ceiling * 1.0001

@@ -1,0 +1,115 @@
+"""Device specifications and the cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.devices import CPU_E5_2670x2, DEVICES, GPU_K20X, KNC_5110P, device_for
+from repro.machine.specs import DeviceSpec
+from repro.models.base import DeviceKind
+from repro.util.errors import MachineError
+from repro.util.units import GIGA
+
+
+def spec(**overrides) -> DeviceSpec:
+    base = dict(
+        name="test",
+        kind=DeviceKind.CPU,
+        peak_bw=100 * GIGA,
+        stream_fraction=0.75,
+        peak_flops=1e12,
+        launch_overhead=1e-6,
+        region_overhead=1e-5,
+        transfer_bw=6 * GIGA,
+        transfer_latency=1e-5,
+        reduction_latency=1e-6,
+        llc_bytes=32 * 1024 * 1024,
+        cache_bw_multiplier=2.0,
+        cache_decay=2.0,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+class TestValidation:
+    def test_stream_bw_derived(self):
+        assert spec().stream_bw == pytest.approx(75 * GIGA)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"stream_fraction": 0.0},
+            {"stream_fraction": 1.5},
+            {"peak_bw": -1.0},
+            {"cache_bw_multiplier": 0.5},
+            {"cache_decay": 1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, overrides):
+        with pytest.raises(MachineError):
+            spec(**overrides)
+
+
+class TestCacheModel:
+    def test_full_boost_in_cache(self):
+        s = spec()
+        assert s.cache_factor(0) == 2.0
+        assert s.cache_factor(s.llc_bytes) == 2.0
+
+    def test_fully_decayed(self):
+        s = spec()
+        assert s.cache_factor(s.llc_bytes * s.cache_decay) == 1.0
+        assert s.cache_factor(s.llc_bytes * 100) == 1.0
+
+    def test_midpoint(self):
+        s = spec()
+        mid = s.llc_bytes * 1.5  # halfway through the decay span
+        assert s.cache_factor(mid) == pytest.approx(1.5)
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(MachineError):
+            spec().cache_factor(-1)
+
+    @given(
+        ws=st.floats(0, 1e10),
+        step=st.floats(1, 1e8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_non_increasing(self, ws, step):
+        s = spec()
+        assert s.cache_factor(ws) >= s.cache_factor(ws + step) - 1e-12
+
+    @given(ws=st.floats(0, 1e10))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, ws):
+        s = spec()
+        assert 1.0 <= s.cache_factor(ws) <= s.cache_bw_multiplier
+
+
+class TestPaperDevices:
+    def test_table2_bandwidths(self):
+        assert CPU_E5_2670x2.peak_bw == pytest.approx(102.4 * GIGA)
+        assert CPU_E5_2670x2.stream_bw == pytest.approx(76.2 * GIGA)
+        assert GPU_K20X.peak_bw == pytest.approx(250.0 * GIGA)
+        assert GPU_K20X.stream_bw == pytest.approx(180.1 * GIGA)
+        assert KNC_5110P.peak_bw == pytest.approx(320.0 * GIGA)
+        assert KNC_5110P.stream_bw == pytest.approx(159.9 * GIGA)
+
+    def test_device_for(self):
+        assert device_for(DeviceKind.GPU) is GPU_K20X
+        assert device_for("knc") is KNC_5110P
+
+    def test_device_for_unknown(self):
+        with pytest.raises(MachineError, match="unknown device"):
+            device_for("tpu")
+
+    def test_all_kinds_covered(self):
+        assert set(DEVICES) == set(DeviceKind)
+
+    def test_offload_regions_cost_more_than_launches(self):
+        """Offload-region entry dominates a native launch on every device
+        (the §3.1 target-invocation overhead)."""
+        for device in DEVICES.values():
+            assert device.region_overhead > device.launch_overhead
+
+    def test_describe(self):
+        assert "76.2" in CPU_E5_2670x2.describe()

@@ -1,0 +1,56 @@
+"""The STREAM benchmark on simulated devices."""
+
+import pytest
+
+from repro.machine.devices import CPU_E5_2670x2, DEVICES, GPU_K20X
+from repro.machine.stream import (
+    MIN_ARRAY_ELEMENTS,
+    StreamResult,
+    stream_array_elements,
+    stream_benchmark,
+)
+from repro.util.errors import MachineError
+from repro.util.units import DOUBLE, GIGA
+
+
+class TestSizing:
+    def test_rule_of_thumb_or_floor(self):
+        for device in DEVICES.values():
+            elements = stream_array_elements(device)
+            assert elements >= MIN_ARRAY_ELEMENTS
+            assert elements * DOUBLE >= 4 * device.llc_bytes
+
+    def test_arrays_escape_the_cache_model(self):
+        for device in DEVICES.values():
+            ws = stream_array_elements(device) * DOUBLE
+            assert device.cache_factor(ws) == 1.0
+
+
+class TestBenchmark:
+    @pytest.mark.parametrize("device", list(DEVICES.values()), ids=lambda d: d.kind.value)
+    def test_triad_recovers_spec_stream(self, device):
+        result = stream_benchmark(device, repetitions=3)
+        assert result.triad == pytest.approx(device.stream_bw, rel=0.01)
+
+    def test_all_four_kernels_reported(self):
+        result = stream_benchmark(CPU_E5_2670x2, repetitions=1)
+        assert set(result.bandwidth) == {
+            "stream_copy", "stream_scale", "stream_add", "stream_triad",
+        }
+        assert result.best >= result.triad
+
+    def test_verification_runs(self):
+        # verify=True exercises the numeric kernel validation path
+        result = stream_benchmark(GPU_K20X, repetitions=1, verify=True)
+        assert isinstance(result, StreamResult)
+
+    def test_repetitions_validated(self):
+        with pytest.raises(MachineError):
+            stream_benchmark(CPU_E5_2670x2, repetitions=0)
+
+    def test_table2_numbers(self):
+        """Measured STREAM reproduces the paper's Table 2 column."""
+        expected = {"cpu": 76.2, "gpu": 180.1, "knc": 159.9}
+        for device in DEVICES.values():
+            measured = stream_benchmark(device, repetitions=3).triad / GIGA
+            assert measured == pytest.approx(expected[device.kind.value], rel=0.01)

@@ -1,0 +1,58 @@
+"""The OpenCL-on-CPU variance model (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.variance import (
+    PAPER_MAX_RUNTIME,
+    PAPER_MIN_RUNTIME,
+    PAPER_SAMPLES,
+    SPREAD,
+    opencl_cpu_variance,
+    variance_multipliers,
+)
+from repro.util.errors import MachineError
+
+
+class TestMultipliers:
+    def test_endpoints_pinned(self):
+        m = variance_multipliers()
+        assert m[0] == 1.0
+        assert m[-1] == pytest.approx(SPREAD)
+        assert len(m) == PAPER_SAMPLES
+
+    def test_sorted_and_in_range(self):
+        m = variance_multipliers(samples=50)
+        assert np.all(np.diff(m) >= 0)
+        assert np.all((m >= 1.0) & (m <= SPREAD + 1e-12))
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(variance_multipliers(), variance_multipliers())
+
+    def test_seed_changes_interior(self):
+        a = variance_multipliers(seed=1)
+        b = variance_multipliers(seed=2)
+        assert not np.array_equal(a[1:-1], b[1:-1])
+
+    def test_minimum_samples(self):
+        with pytest.raises(MachineError):
+            variance_multipliers(samples=1)
+
+
+class TestVarianceBand:
+    def test_paper_anchored_band(self):
+        """With the paper's best case, the band reproduces 1631..2813 s."""
+        lo, mean, hi = opencl_cpu_variance(PAPER_MIN_RUNTIME)
+        assert lo == pytest.approx(PAPER_MIN_RUNTIME)
+        assert hi == pytest.approx(PAPER_MAX_RUNTIME)
+        assert lo < mean < hi
+
+    def test_scales_linearly(self):
+        lo1, _, hi1 = opencl_cpu_variance(100.0)
+        lo2, _, hi2 = opencl_cpu_variance(200.0)
+        assert lo2 == pytest.approx(2 * lo1)
+        assert hi2 == pytest.approx(2 * hi1)
+
+    def test_rejects_nonpositive_runtime(self):
+        with pytest.raises(MachineError):
+            opencl_cpu_variance(0.0)

@@ -1,0 +1,90 @@
+"""Model registry and capability metadata (Table 1, §3)."""
+
+import pytest
+
+from repro.models.base import (
+    Capabilities,
+    DeviceKind,
+    Support,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.util.errors import ModelError
+
+EXPECTED_MODELS = {
+    "cuda",
+    "kokkos",
+    "kokkos-hp",
+    "openacc",
+    "opencl",
+    "openmp-cpp",
+    "openmp-f90",
+    "openmp4",
+    "openmp45",
+    "raja",
+    "raja-gpu",
+    "raja-simd",
+}
+
+
+class TestRegistry:
+    def test_all_paper_models_registered(self):
+        assert set(available_models()) == EXPECTED_MODELS
+
+    def test_get_model_round_trip(self):
+        for name in available_models():
+            assert get_model(name).capabilities.name == name
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError, match="unknown model"):
+            get_model("chapel")
+
+    def test_duplicate_registration_rejected(self):
+        model = get_model("cuda")
+        with pytest.raises(ModelError, match="already registered"):
+            register_model(model)
+
+
+class TestCapabilities:
+    def test_cross_platform_partition_matches_section3(self):
+        """§3: cross-platform = {OpenCL, Kokkos, RAJA, OpenACC, OpenMP 4.0};
+        platform-specific = {CUDA, OpenMP 3.0}."""
+        cross = {
+            name
+            for name in available_models()
+            if get_model(name).capabilities.cross_platform
+        }
+        assert cross == {
+            "opencl", "kokkos", "kokkos-hp", "raja", "raja-simd", "raja-gpu",
+            "openacc", "openmp4", "openmp45",
+        }
+
+    def test_cuda_is_gpu_only(self):
+        caps = get_model("cuda").capabilities
+        assert caps.supports(DeviceKind.GPU)
+        assert not caps.supports(DeviceKind.CPU)
+        assert not caps.supports(DeviceKind.KNC)
+
+    def test_raja_has_no_gpu_support(self):
+        """§3: the unreleased RAJA available to the paper excluded GPUs."""
+        assert not get_model("raja").capabilities.supports(DeviceKind.GPU)
+
+    def test_directive_based_flags(self):
+        directives = {
+            name
+            for name in available_models()
+            if get_model(name).capabilities.directive_based
+        }
+        assert directives == {
+            "openmp-f90", "openmp-cpp", "openmp4", "openmp45", "openacc",
+        }
+
+    def test_cpp11_requirement(self):
+        """§3: Kokkos and RAJA require C++11 compilation."""
+        for name in ("kokkos", "kokkos-hp", "raja", "raja-simd", "raja-gpu"):
+            assert "C++11" in get_model(name).capabilities.language
+
+    def test_display_names_distinct(self):
+        names = [get_model(m).capabilities.display_name for m in available_models()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,178 @@
+"""CUDA substrate: runtime memory, launches, block reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.cuda import (
+    CudaRuntime,
+    Dim3,
+    MemcpyKind,
+    block_reduce_sum,
+    blocks_for,
+    launch,
+    next_pow2,
+)
+from repro.models.tracing import EventKind, Trace, TransferDirection
+from repro.util.errors import ModelError
+
+
+class TestRuntimeMemory:
+    def test_malloc_memcpy_round_trip(self):
+        rt = CudaRuntime(Trace())
+        dev = rt.malloc(8, "buf")
+        host = np.arange(8.0)
+        rt.memcpy(dev, host, MemcpyKind.HOST_TO_DEVICE)
+        out = np.zeros(8)
+        rt.memcpy(out, dev, MemcpyKind.DEVICE_TO_HOST)
+        np.testing.assert_array_equal(out, host)
+        transfers = rt.trace.filtered(kind=EventKind.TRANSFER)
+        assert [t.direction for t in transfers] == [
+            TransferDirection.H2D,
+            TransferDirection.D2H,
+        ]
+
+    def test_d2d_not_traced(self):
+        rt = CudaRuntime(Trace())
+        a, b = rt.malloc(4), rt.malloc(4)
+        a.data[...] = 5.0
+        rt.memcpy(b, a, MemcpyKind.DEVICE_TO_DEVICE)
+        assert np.all(b.data == 5.0)
+        assert rt.trace.transfer_bytes() == 0
+
+    def test_direction_validation(self):
+        rt = CudaRuntime()
+        dev = rt.malloc(4)
+        host = np.zeros(4)
+        with pytest.raises(ModelError, match="H2D"):
+            rt.memcpy(host, dev, MemcpyKind.HOST_TO_DEVICE)
+        with pytest.raises(ModelError, match="D2H"):
+            rt.memcpy(dev, host, MemcpyKind.DEVICE_TO_HOST)
+
+    def test_size_mismatch(self):
+        rt = CudaRuntime()
+        dev = rt.malloc(4)
+        with pytest.raises(ModelError, match="mismatch"):
+            rt.memcpy(dev, np.zeros(5), MemcpyKind.HOST_TO_DEVICE)
+
+    def test_use_after_free(self):
+        rt = CudaRuntime()
+        dev = rt.malloc(4, "gone")
+        rt.free(dev)
+        with pytest.raises(ModelError, match="freed"):
+            dev.data
+
+    def test_double_free(self):
+        rt = CudaRuntime()
+        dev = rt.malloc(4)
+        rt.free(dev)
+        with pytest.raises(ModelError, match="double free"):
+            rt.free(dev)
+
+    def test_live_allocation_count(self):
+        rt = CudaRuntime()
+        a = rt.malloc(4)
+        rt.malloc(4)
+        assert rt.live_allocations == 2
+        rt.free(a)
+        assert rt.live_allocations == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ModelError):
+            CudaRuntime().malloc(0)
+
+
+class TestLaunch:
+    def test_thread_indexing(self):
+        out = np.zeros(12)
+
+        def kernel(ctx, n, data):
+            idx = ctx.blockIdx_x * ctx.blockDim_x + ctx.threadIdx_x
+            valid = idx < n
+            data[idx[valid]] = idx[valid]
+
+        launch(kernel, Dim3(3), Dim3(4), 12, out)
+        np.testing.assert_array_equal(out, np.arange(12.0))
+
+    def test_overspill_guard_respected(self):
+        out = np.zeros(10)
+
+        def kernel(ctx, n, data):
+            idx = ctx.global_idx
+            valid = idx < n
+            data[idx[valid]] += 1.0
+
+        launch(kernel, Dim3(blocks_for(10, 8)), Dim3(8), 10, out)
+        assert np.all(out == 1.0)  # 16 threads launched, 10 did work
+
+    def test_scalar_dispatch_equivalence(self):
+        def kernel_factory(data):
+            def kernel(ctx, n):
+                idx = ctx.global_idx
+                valid = idx < n
+                data[idx[valid]] = 3 * idx[valid] + 1
+
+            return kernel
+
+        a, b = np.zeros(9), np.zeros(9)
+        launch(kernel_factory(a), Dim3(3), Dim3(4), 9)
+        launch(kernel_factory(b), Dim3(3), Dim3(4), 9, scalar=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_only_1d_launches(self):
+        with pytest.raises(ModelError, match="1-D"):
+            launch(lambda ctx: None, Dim3(2, 2), Dim3(4))
+
+    def test_dim3_validation(self):
+        with pytest.raises(ModelError):
+            Dim3(0)
+        assert Dim3(4, 2, 1).total == 8
+
+    @given(n=st.integers(0, 10_000), block=st.integers(1, 1024))
+    def test_blocks_for_covers(self, n, block):
+        blocks = blocks_for(n, block)
+        assert blocks * block >= n
+        assert blocks >= 1
+        if n > 0:
+            assert (blocks - 1) * block < n
+
+
+class TestBlockReduction:
+    def test_next_pow2(self):
+        assert [next_pow2(x) for x in (1, 2, 3, 5, 8, 9)] == [1, 2, 4, 8, 8, 16]
+        with pytest.raises(ModelError):
+            next_pow2(0)
+
+    def test_simple_blocks(self):
+        values = np.arange(8.0)
+        partials = block_reduce_sum(values, 4)
+        np.testing.assert_allclose(partials, [6.0, 22.0])
+
+    def test_non_pow2_block_rejected(self):
+        with pytest.raises(ModelError, match="power of two"):
+            block_reduce_sum(np.zeros(6), 3)
+
+    def test_partial_block_rejected(self):
+        with pytest.raises(ModelError, match="whole number"):
+            block_reduce_sum(np.zeros(10), 4)
+
+    @given(
+        blocks=st.integers(1, 20),
+        log_block=st.integers(0, 7),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tree_matches_numpy(self, blocks, log_block, seed):
+        block = 1 << log_block
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(blocks * block)
+        partials = block_reduce_sum(values, block)
+        assert partials.shape == (blocks,)
+        expected = values.reshape(blocks, block).sum(axis=1)
+        np.testing.assert_allclose(partials, expected, rtol=1e-12, atol=1e-12)
+
+    def test_input_not_mutated(self):
+        values = np.arange(8.0)
+        before = values.copy()
+        block_reduce_sum(values, 8)
+        np.testing.assert_array_equal(values, before)

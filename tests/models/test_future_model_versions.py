@@ -1,0 +1,160 @@
+"""The model-version extensions the paper anticipates.
+
+§3.1: OpenMP 4.5's ``target nowait`` should shrink the per-invocation
+target overhead.  §3.6: OpenCL 2.0's built-in work-group reductions remove
+the hand-written trees.  §2.3: RAJA's CUDA backend was in progress.  Each
+is implemented as a clearly-flagged extension; these tests verify both the
+mechanics and the predicted performance consequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import fields as F
+from repro.core.deck import default_deck
+from repro.core.driver import TeaLeaf
+from repro.machine.devices import KNC_5110P
+from repro.machine.perfmodel import NOWAIT_REGION_FACTOR, PerformanceModel
+from repro.models.base import make_port
+
+
+class TestOpenMP45Nowait:
+    def test_physics_identical_to_openmp4(self):
+        deck = default_deck(n=24, solver="cg", end_step=1, eps=1e-9)
+        g = deck.grid()
+        a = TeaLeaf(deck, model="openmp4")
+        a.run()
+        b = TeaLeaf(deck, model="openmp45")
+        b.run()
+        np.testing.assert_array_equal(
+            a.field(F.U)[g.inner()], b.field(F.U)[g.inner()]
+        )
+
+    def test_regions_labelled_nowait(self):
+        deck = default_deck(n=16, solver="cg", end_step=1, eps=1e-8)
+        run = TeaLeaf(deck, model="openmp45").run()
+        from repro.models.tracing import EventKind
+
+        regions = run.trace.filtered(kind=EventKind.REGION)
+        assert regions
+        assert all(e.name.startswith("target_nowait:") for e in regions)
+
+    def test_nowait_shrinks_the_overhead_charge(self):
+        """The §3.1 hypothesis, quantified: identical event streams cost
+        less region time under 4.5 semantics."""
+        deck = default_deck(n=32, solver="cg", end_step=1, eps=1e-8)
+        pm = PerformanceModel(KNC_5110P)
+        cost = {}
+        for model in ("openmp4", "openmp45"):
+            run = TeaLeaf(deck, model=model).run()
+            cost[model] = pm.time_trace(run.trace, "openmp4", "cg", tag="solve")
+        assert cost["openmp45"].region_entries == cost["openmp4"].region_entries
+        assert cost["openmp45"].regions == pytest.approx(
+            cost["openmp4"].regions * NOWAIT_REGION_FACTOR, rel=1e-9
+        )
+        assert cost["openmp45"].total < cost["openmp4"].total
+
+    def test_directive_nowait_label(self):
+        from repro.models.openmp.directives import DeviceDataEnvironment, target
+        from repro.models.tracing import EventKind, Trace
+
+        trace = Trace()
+        env = DeviceDataEnvironment(trace)
+        with target(env, trace, "k", nowait=True):
+            pass
+        assert trace.filtered(kind=EventKind.REGION)[0].name == "target_nowait:k"
+
+
+class TestOpenCL2BuiltinReductions:
+    def _setup(self, n=64, local=8):
+        from repro.models.opencl.platform import DeviceType, find_device
+        from repro.models.opencl.program import Program
+        from repro.models.opencl.runtime import (
+            Buffer,
+            CommandQueue,
+            Context,
+            MemFlags,
+        )
+        from repro.models.tracing import Trace
+
+        rng = np.random.default_rng(5)
+        values = rng.standard_normal(n)
+        _, device = find_device(DeviceType.GPU)
+        ctx = Context([device], Trace())
+        queue = CommandQueue(ctx, device)
+        data = Buffer(ctx, MemFlags.COPY_HOST_PTR, hostbuf=values)
+
+        def contrib(gid, total, buf):
+            out = np.zeros(gid.size)
+            valid = gid < total
+            out[valid] = buf[gid[valid]]
+            return out
+
+        kernel = Program(ctx, {"r": contrib}).build().create_kernel("r")
+        kernel.set_arg(0, n)
+        kernel.set_arg(1, data)
+        partials = Buffer(ctx, MemFlags.READ_WRITE, size=(n // local) * 8)
+        return ctx, queue, kernel, partials, values, n, local
+
+    def test_builtin_matches_manual_tree_bitwise(self):
+        ctx, queue, kernel, partials, values, n, local = self._setup()
+        groups = queue.enqueue_builtin_reduction_kernel(kernel, n, local, partials)
+        builtin = partials.device_view[:groups].copy()
+        groups2 = queue.enqueue_reduction_kernel(kernel, n, local, partials)
+        manual = partials.device_view[:groups2].copy()
+        np.testing.assert_array_equal(builtin, manual)
+
+    def test_builtin_pass_labelled_as_vendor(self):
+        from repro.models.tracing import EventKind
+
+        ctx, queue, kernel, partials, *_ = self._setup()
+        queue.enqueue_builtin_reduction_kernel(kernel, 64, 8, partials)
+        passes = ctx.trace.filtered(kind=EventKind.REDUCTION_PASS)
+        assert passes[0].name.startswith("work_group_reduce_add:")
+
+    def test_builtin_validates_partials_size(self):
+        from repro.models.opencl.runtime import Buffer, MemFlags
+        from repro.util.errors import ModelError
+
+        ctx, queue, kernel, _, *_ = self._setup()
+        tiny = Buffer(ctx, MemFlags.READ_WRITE, size=8)
+        with pytest.raises(ModelError, match="partials"):
+            queue.enqueue_builtin_reduction_kernel(kernel, 64, 8, tiny)
+
+
+class TestRAJACudaBackend:
+    def test_physics_identical_to_host_raja(self):
+        deck = default_deck(n=24, solver="chebyshev", end_step=1, eps=1e-9)
+        g = deck.grid()
+        host = TeaLeaf(deck, model="raja")
+        host.run()
+        gpu = TeaLeaf(deck, model="raja-gpu")
+        gpu.run()
+        np.testing.assert_allclose(
+            gpu.field(F.U)[g.inner()], host.field(F.U)[g.inner()], rtol=1e-12
+        )
+
+    def test_cuda_exec_dispatches_through_launch_layer(self):
+        from repro.models.raja import RangeSegment, forall
+        from repro.models.raja.forall import cuda_exec
+
+        data = np.zeros(300)  # not a multiple of the block size: overspill
+        forall(cuda_exec, RangeSegment(0, 300), lambda i: data.__setitem__(i, i))
+        np.testing.assert_array_equal(data, np.arange(300.0))
+
+    def test_cuda_exec_per_segment_launches(self):
+        from repro.models.raja import IndexSet, RangeSegment, forall
+        from repro.models.raja.forall import cuda_exec
+
+        batches = []
+        iset = IndexSet([RangeSegment(0, 5), RangeSegment(10, 15)])
+        forall(cuda_exec, iset, lambda i: batches.append(i.copy()))
+        assert len(batches) == 2
+        np.testing.assert_array_equal(batches[0], np.arange(5))
+        np.testing.assert_array_equal(batches[1], np.arange(10, 15))
+
+    def test_raja_gpu_uses_range_segments(self):
+        deck = default_deck(n=16)
+        port = make_port("raja-gpu", deck.grid())
+        assert port.policy.name == "cuda_exec"
+        assert port._interior.vectorisable

@@ -1,0 +1,128 @@
+"""OpenMP 4.0 offload semantics: the device data environment."""
+
+import numpy as np
+import pytest
+
+from repro.models.openmp.directives import (
+    DeviceDataEnvironment,
+    TargetDataRegion,
+    target,
+)
+from repro.models.tracing import EventKind, Trace, TransferDirection
+from repro.util.errors import ModelError
+
+
+@pytest.fixture
+def env():
+    return DeviceDataEnvironment(Trace())
+
+
+class TestMapping:
+    def test_map_to_copies_in(self, env):
+        host = np.arange(6.0)
+        env.map("a", host, to=True)
+        assert np.array_equal(env.device("a"), host)
+        transfers = env.trace.filtered(kind=EventKind.TRANSFER)
+        assert len(transfers) == 1
+        assert transfers[0].direction is TransferDirection.H2D
+
+    def test_device_copy_is_distinct_memory(self, env):
+        host = np.zeros(4)
+        env.map("a", host, to=True)
+        env.device("a")[...] = 9.0
+        assert np.all(host == 0.0)  # host is stale, like a real accelerator
+
+    def test_map_alloc_no_copy(self, env):
+        env.map("a", np.arange(4.0), to=False)
+        assert np.all(env.device("a") == 0.0)
+        assert env.trace.transfer_bytes() == 0
+
+    def test_map_from_copies_back_on_unmap(self, env):
+        host = np.zeros(4)
+        env.map("a", host, to=False, from_=True)
+        env.device("a")[...] = 3.0
+        env.unmap("a")
+        assert np.all(host == 3.0)
+        d2h = [
+            e
+            for e in env.trace.filtered(kind=EventKind.TRANSFER)
+            if e.direction is TransferDirection.D2H
+        ]
+        assert len(d2h) == 1
+
+    def test_double_map_rejected(self, env):
+        env.map("a", np.zeros(2))
+        with pytest.raises(ModelError, match="already mapped"):
+            env.map("a", np.zeros(2))
+
+    def test_unmapped_use_rejected(self, env):
+        with pytest.raises(ModelError, match="not mapped"):
+            env.device("ghost")
+
+    def test_unmap_unmapped_rejected(self, env):
+        with pytest.raises(ModelError, match="not mapped"):
+            env.unmap("ghost")
+
+    def test_update_directives(self, env):
+        host = np.zeros(4)
+        env.map("a", host, to=True)
+        host[...] = 5.0
+        env.update_to("a")
+        assert np.all(env.device("a") == 5.0)
+        env.device("a")[...] = 7.0
+        env.update_from("a")
+        assert np.all(host == 7.0)
+
+    def test_mapped_names(self, env):
+        env.map("b", np.zeros(1))
+        env.map("a", np.zeros(1))
+        assert env.mapped_names() == ["a", "b"]
+
+
+class TestTargetDataRegion:
+    def test_scoped_mapping(self, env):
+        host_in = np.arange(4.0)
+        host_io = np.zeros(4)
+        region = TargetDataRegion(
+            env, map_to={"x": host_in}, map_tofrom={"y": host_io}
+        )
+        with region:
+            assert env.is_mapped("x") and env.is_mapped("y")
+            env.device("y")[...] = 2.0
+        assert not env.is_mapped("x")
+        assert np.all(host_io == 2.0)  # tofrom copied back
+
+    def test_to_only_not_copied_back(self, env):
+        host = np.zeros(4)
+        with TargetDataRegion(env, map_to={"x": host}):
+            env.device("x")[...] = 1.0
+        assert np.all(host == 0.0)
+
+    def test_reentry_rejected(self, env):
+        region = TargetDataRegion(env, map_to={"x": np.zeros(2)})
+        with region:
+            with pytest.raises(ModelError, match="twice"):
+                region.__enter__()
+
+    def test_region_is_lexically_structured(self, env):
+        """4.0 target data is a scope: exit always unmaps (even on error)."""
+        with pytest.raises(RuntimeError):
+            with TargetDataRegion(env, map_to={"x": np.zeros(2)}):
+                raise RuntimeError("boom")
+        assert not env.is_mapped("x")
+
+
+class TestTarget:
+    def test_records_region_event(self, env):
+        trace = env.trace
+        env.map("a", np.arange(3.0))
+        with target(env, trace, "my_kernel") as dev:
+            dev.device("a")[...] += 1.0
+        regions = trace.filtered(kind=EventKind.REGION)
+        assert len(regions) == 1
+        assert regions[0].name == "target:my_kernel"
+
+    def test_unmapped_access_inside_target(self, env):
+        with target(env, env.trace, "k") as dev:
+            with pytest.raises(ModelError, match="not mapped"):
+                dev.device("missing")

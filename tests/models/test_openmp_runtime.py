@@ -1,0 +1,106 @@
+"""OpenMP 3.0 runtime: static scheduling and reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.openmp.runtime import (
+    OpenMPRuntime,
+    is_simd,
+    simd,
+    static_chunks,
+)
+
+
+class TestStaticChunks:
+    def test_even_split(self):
+        assert static_chunks(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        chunks = static_chunks(10, 4)
+        sizes = [e - s for s, e in chunks]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_more_threads_than_work(self):
+        chunks = static_chunks(2, 8)
+        assert chunks == [(0, 1), (1, 2)]
+
+    def test_zero_iterations(self):
+        assert static_chunks(0, 4) == []
+
+    @pytest.mark.parametrize("n,t", [(-1, 4), (4, 0)])
+    def test_invalid_args(self, n, t):
+        with pytest.raises(ValueError):
+            static_chunks(n, t)
+
+    @given(n=st.integers(0, 500), t=st.integers(1, 64))
+    def test_partition_invariants(self, n, t):
+        """Chunks are contiguous, disjoint, ordered and cover [0, n)."""
+        chunks = static_chunks(n, t)
+        assert len(chunks) <= t
+        covered = 0
+        prev_end = 0
+        for start, end in chunks:
+            assert start == prev_end
+            assert end > start
+            covered += end - start
+            prev_end = end
+        assert covered == n
+        # static schedule: sizes differ by at most 1
+        if chunks:
+            sizes = [e - s for s, e in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestRuntime:
+    def test_parallel_for_visits_everything(self):
+        omp = OpenMPRuntime(num_threads=4)
+        hits = np.zeros(10)
+
+        def body(start, end):
+            hits[start:end] += 1
+
+        omp.parallel_for(10, body)
+        assert np.all(hits == 1)
+        assert omp.regions == 1
+
+    def test_parallel_reduce_matches_serial(self):
+        omp = OpenMPRuntime(num_threads=5)
+        data = np.arange(100, dtype=float)
+        total = omp.parallel_reduce(100, lambda s, e: float(data[s:e].sum()))
+        assert total == pytest.approx(data.sum())
+
+    def test_parallel_reduce_initial(self):
+        omp = OpenMPRuntime(num_threads=2)
+        assert omp.parallel_reduce(0, lambda s, e: 1.0, initial=5.0) == 5.0
+
+    def test_multi_reduction(self):
+        omp = OpenMPRuntime(num_threads=3)
+        data = np.arange(30, dtype=float)
+        sums = omp.parallel_reduce_multi(
+            30, lambda s, e: (float(data[s:e].sum()), float(e - s)), width=2
+        )
+        assert sums[0] == pytest.approx(data.sum())
+        assert sums[1] == 30.0
+
+    def test_multi_reduction_arity_checked(self):
+        omp = OpenMPRuntime(num_threads=2)
+        with pytest.raises(ValueError, match="reduction body"):
+            omp.parallel_reduce_multi(4, lambda s, e: (1.0,), width=2)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            OpenMPRuntime(num_threads=0)
+
+
+class TestSimdMarker:
+    def test_marker_preserves_behaviour(self):
+        @simd
+        def body(x):
+            return x * 2
+
+        assert body(21) == 42
+        assert is_simd(body)
+
+    def test_unmarked(self):
+        assert not is_simd(lambda x: x)

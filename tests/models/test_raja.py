@@ -1,0 +1,185 @@
+"""RAJA substrate: segments, IndexSets, forall, reducers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.raja import (
+    IndexSet,
+    ListSegment,
+    RangeSegment,
+    ReduceSum,
+    forall,
+    omp_parallel_for_exec,
+    seq_exec,
+    simd_exec,
+)
+from repro.models.raja_port import multi_reduce_dispatch
+from repro.util.errors import ModelError
+
+
+class TestSegments:
+    def test_range_segment(self):
+        seg = RangeSegment(3, 7)
+        np.testing.assert_array_equal(seg.indices(), [3, 4, 5, 6])
+        assert len(seg) == 4
+        assert seg.vectorisable
+
+    def test_range_segment_invalid(self):
+        with pytest.raises(ModelError):
+            RangeSegment(5, 2)
+
+    def test_list_segment(self):
+        seg = ListSegment(np.array([9, 2, 5]))
+        np.testing.assert_array_equal(seg.indices(), [9, 2, 5])
+        assert not seg.vectorisable
+
+    def test_list_segment_validation(self):
+        with pytest.raises(ModelError, match="1-D"):
+            ListSegment(np.zeros((2, 2), dtype=int))
+        with pytest.raises(ModelError, match="non-negative"):
+            ListSegment(np.array([-1, 2]))
+
+    def test_index_set_aggregation(self):
+        iset = IndexSet([RangeSegment(0, 3), ListSegment(np.array([10, 11]))])
+        assert len(iset) == 5
+        assert iset.num_segments() == 2
+        np.testing.assert_array_equal(iset.all_indices(), [0, 1, 2, 10, 11])
+        assert not iset.vectorisable  # contains a ListSegment
+
+    def test_index_set_rejects_non_segments(self):
+        with pytest.raises(ModelError):
+            IndexSet([42])
+
+    def test_empty_index_set(self):
+        iset = IndexSet()
+        assert len(iset) == 0
+        assert iset.all_indices().size == 0
+        assert iset.vectorisable  # vacuously
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 100), st.integers(1, 20)), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_index_set_length_invariant(self, rows):
+        segs = [RangeSegment(base, base + n) for base, n in rows]
+        iset = IndexSet(segs)
+        assert len(iset) == sum(n for _, n in rows)
+        assert iset.all_indices().size == len(iset)
+
+
+class TestForall:
+    def test_visits_each_segment_in_order(self):
+        iset = IndexSet([RangeSegment(0, 2), RangeSegment(5, 7)])
+        seen = []
+        forall(seq_exec, iset, lambda idx: seen.append(idx.tolist()))
+        assert seen == [[0, 1], [5, 6]]
+
+    def test_list_segment_gather(self):
+        data = np.zeros(10)
+        seg = ListSegment(np.array([1, 3, 5]))
+        forall(omp_parallel_for_exec, seg, lambda i: data.__setitem__(i, 1.0))
+        assert data.sum() == 3.0
+
+    def test_simd_rejects_indirection(self):
+        seg = ListSegment(np.array([0, 1]))
+        with pytest.raises(ModelError, match="precludes vectorisation"):
+            forall(simd_exec, seg, lambda i: None)
+
+    def test_simd_accepts_ranges(self):
+        data = np.zeros(4)
+        forall(simd_exec, RangeSegment(0, 4), lambda i: data.__setitem__(i, 2.0))
+        assert np.all(data == 2.0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ModelError, match="policy"):
+            forall(object, RangeSegment(0, 1), lambda i: None)
+
+    def test_bad_target(self):
+        with pytest.raises(ModelError, match="target"):
+            forall(seq_exec, [1, 2, 3], lambda i: None)
+
+    def test_empty_segments_skipped(self):
+        calls = []
+        forall(seq_exec, RangeSegment(3, 3), lambda i: calls.append(i))
+        assert calls == []
+
+
+class TestReduceSum:
+    def test_scalar_and_array_accumulation(self):
+        r = ReduceSum(omp_parallel_for_exec)
+        r += 2.0
+        r += np.array([1.0, 2.0, 3.0])
+        assert r.get() == pytest.approx(8.0)
+
+    def test_initial_value(self):
+        r = ReduceSum(seq_exec, initial=10.0)
+        assert r.get() == 10.0
+
+    def test_accumulate_after_get_rejected(self):
+        r = ReduceSum(seq_exec)
+        r.get()
+        with pytest.raises(ModelError, match="after get"):
+            r += 1.0
+
+    def test_inside_forall(self):
+        data = np.arange(20.0)
+        iset = IndexSet([RangeSegment(0, 10), RangeSegment(10, 20)])
+        acc = ReduceSum(omp_parallel_for_exec)
+
+        def body(i):
+            nonlocal acc
+            acc += data[i]
+
+        forall(omp_parallel_for_exec, iset, body)
+        assert acc.get() == pytest.approx(data.sum())
+
+
+class TestMultiReduceDispatch:
+    def test_multiple_reduction_variables(self):
+        data = np.arange(12.0)
+        iset = IndexSet([RangeSegment(0, 6), RangeSegment(6, 12)])
+        sums = multi_reduce_dispatch(
+            iset, lambda i: (data[i], np.ones_like(i, dtype=float)), width=2
+        )
+        assert sums == (pytest.approx(66.0), pytest.approx(12.0))
+
+    def test_arity_enforced(self):
+        iset = IndexSet([RangeSegment(0, 4)])
+        with pytest.raises(ModelError, match="expected 2"):
+            multi_reduce_dispatch(iset, lambda i: (i.astype(float),), width=2)
+
+
+class TestPortIndexSets:
+    def test_halo_excluded_structurally(self):
+        """The port's interior IndexSet contains no halo indices."""
+        from repro.core.grid import Grid2D
+        from repro.models.raja_port import RAJAPort
+
+        grid = Grid2D(nx=5, ny=4)
+        port = RAJAPort(grid)
+        pitch = grid.nx + 2 * grid.halo
+        h = grid.halo
+        idx = port._interior.all_indices()
+        assert idx.size == grid.cells
+        rows, cols = idx // pitch, idx % pitch
+        assert rows.min() >= h and rows.max() < h + grid.ny
+        assert cols.min() >= h and cols.max() < h + grid.nx
+
+    def test_simd_variant_uses_range_segments(self):
+        from repro.core.grid import Grid2D
+        from repro.models.raja_port import RAJASIMDPort
+
+        port = RAJASIMDPort(Grid2D(nx=5, ny=4))
+        assert port._interior.vectorisable
+        assert all(isinstance(s, RangeSegment) for s in port._interior.segments)
+
+    def test_plain_variant_uses_list_segments(self):
+        from repro.core.grid import Grid2D
+        from repro.models.raja_port import RAJAPort
+
+        port = RAJAPort(Grid2D(nx=5, ny=4))
+        assert not port._interior.vectorisable
+        assert all(isinstance(s, ListSegment) for s in port._interior.segments)

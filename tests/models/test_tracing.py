@@ -1,0 +1,121 @@
+"""The execution trace layer."""
+
+import pytest
+
+from repro.models.tracing import Event, EventKind, Trace, TransferDirection
+
+
+class TestRecording:
+    def test_kernel_event(self):
+        t = Trace()
+        t.kernel("k", bytes_moved=100, flops=10, cells=5, has_reduction=True)
+        assert t.kernel_launches() == 1
+        assert t.kernel_bytes() == 100
+        assert t.flops() == 10
+        assert t.reduction_count() == 1
+
+    def test_transfer_event(self):
+        t = Trace()
+        t.transfer("x", 64, TransferDirection.H2D)
+        assert t.transfer_bytes() == 64
+        assert t.kernel_bytes() == 0
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().transfer("x", -1, TransferDirection.H2D)
+
+    def test_region_event(self):
+        t = Trace()
+        t.region("target:foo")
+        assert t.region_entries() == 1
+
+    def test_reduction_pass_counts(self):
+        t = Trace()
+        t.reduction_pass("partials", 8)
+        assert t.reduction_count() == 1
+
+
+class TestSections:
+    def test_nested_tags(self):
+        t = Trace()
+        with t.section("solve"):
+            with t.section("cg"):
+                t.kernel("a", 1, 1, 1)
+            t.kernel("b", 1, 1, 1)
+        t.kernel("c", 1, 1, 1)
+        assert t.kernel_launches("solve") == 2
+        assert t.kernel_launches("cg") == 1
+        assert t.kernel_launches() == 3
+        assert t.tags() == {"solve", "cg"}
+
+    def test_filter_by_kind_and_tag(self):
+        t = Trace()
+        with t.section("x"):
+            t.kernel("a", 1, 1, 1)
+            t.transfer("t", 4, TransferDirection.D2H)
+        assert len(t.filtered("x", EventKind.TRANSFER)) == 1
+        assert len(t.filtered("y")) == 0
+
+    def test_clear_inside_section_rejected(self):
+        t = Trace()
+        with pytest.raises(RuntimeError):
+            with t.section("s"):
+                t.clear()
+
+    def test_clear(self):
+        t = Trace()
+        t.kernel("a", 1, 1, 1)
+        t.clear()
+        assert len(t) == 0
+
+
+class TestQueries:
+    def test_histogram(self):
+        t = Trace()
+        for _ in range(3):
+            t.kernel("a", 1, 1, 1)
+        t.kernel("b", 1, 1, 1)
+        assert t.kernel_histogram() == {"a": 3, "b": 1}
+
+    def test_summary_mentions_counts(self):
+        t = Trace()
+        t.kernel("a", 10**9, 1, 1)
+        t.region("r")
+        s = t.summary()
+        assert "1 kernel launches" in s
+        assert "1 offload regions" in s
+
+    def test_event_tagged(self):
+        e = Event(EventKind.KERNEL, "k", tags=frozenset({"solve"}))
+        assert e.tagged("solve") and not e.tagged("other")
+
+
+class TestExport:
+    def test_records_round_trip(self):
+        t = Trace()
+        with t.section("solve"):
+            t.kernel("k", 100, 10, 5, has_reduction=True)
+            t.transfer("x", 64, TransferDirection.H2D)
+        records = t.to_records()
+        assert records[0] == {
+            "kind": "kernel",
+            "name": "k",
+            "bytes": 100,
+            "flops": 10,
+            "cells": 5,
+            "reduction": True,
+            "tags": ["solve"],
+        }
+        assert records[1]["direction"] == "h2d"
+
+    def test_json_file_output(self, tmp_path):
+        import json
+
+        t = Trace()
+        t.kernel("k", 8, 1, 1)
+        path = tmp_path / "trace.json"
+        text = t.to_json(path)
+        parsed = json.loads(path.read_text())
+        assert parsed == json.loads(text)
+        assert parsed["events"][0]["name"] == "k"
+        assert "kernel launches" in parsed["summary"]

@@ -1,0 +1,133 @@
+"""Correctness of the probe kernels (EOS, advection, sweep)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiles.workloads import (
+    GAMMA,
+    eos_ideal_gas,
+    sweep_diagonals,
+    upwind_advection,
+    wavefront_sweep,
+)
+from repro.util.errors import ReproError
+
+
+class TestEOS:
+    def test_ideal_gas_values(self):
+        density = np.full((2, 2), 2.0)
+        energy = np.full((2, 2), 5.0)
+        pressure, c = eos_ideal_gas(density, energy)
+        assert np.allclose(pressure, (GAMMA - 1) * 10.0)
+        expected_c = np.sqrt(GAMMA * pressure / density + (GAMMA - 1) * energy)
+        assert np.allclose(c, expected_c)
+
+    def test_positive_density_required(self):
+        with pytest.raises(ReproError, match="positive density"):
+            eos_ideal_gas(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            eos_ideal_gas(np.ones((2, 2)), np.ones((3, 2)))
+
+    @given(
+        rho=st.floats(0.01, 100.0),
+        e=st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_outputs_physical(self, rho, e):
+        p, c = eos_ideal_gas(np.array([[rho]]), np.array([[e]]))
+        assert p[0, 0] >= 0.0
+        assert c[0, 0] >= 0.0
+
+
+class TestAdvection:
+    def test_uniform_velocity_translates(self):
+        """One step with CFL=1 and uniform positive velocity shifts the
+        profile by exactly one cell (donor cell is exact at CFL 1)."""
+        u = np.zeros((1, 8))
+        u[0, 3] = 1.0
+        v = np.ones_like(u)
+        out = upwind_advection(u, v, dt_over_dx=1.0)
+        expected = np.roll(u, 1, axis=1)
+        np.testing.assert_allclose(out, expected, atol=1e-14)
+
+    def test_conservation(self):
+        rng = np.random.default_rng(7)
+        u = rng.uniform(0, 1, (4, 16))
+        v = rng.uniform(-1, 1, u.shape)
+        out = upwind_advection(u, v, dt_over_dx=0.4)
+        assert out.sum() == pytest.approx(u.sum(), rel=1e-12)
+
+    def test_zero_velocity_is_identity(self):
+        u = np.arange(8.0).reshape(1, 8)
+        out = upwind_advection(u, np.zeros_like(u), 0.5)
+        np.testing.assert_array_equal(out, u)
+
+    def test_cfl_guard(self):
+        u = np.zeros((2, 2))
+        with pytest.raises(ReproError, match="CFL"):
+            upwind_advection(u, u, dt_over_dx=1.5)
+
+    @given(seed=st.integers(0, 50), cfl=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_bounds(self, seed, cfl):
+        """Donor-cell upwinding is monotone: no new extrema (uniform v)."""
+        rng = np.random.default_rng(seed)
+        u = rng.uniform(0, 1, (3, 12))
+        v = np.full_like(u, 0.7)
+        out = upwind_advection(u, v, cfl)
+        assert out.min() >= u.min() - 1e-12
+        assert out.max() <= u.max() + 1e-12
+
+
+class TestSweep:
+    def test_satisfies_the_recurrence(self):
+        rng = np.random.default_rng(3)
+        source = rng.uniform(0, 1, (6, 9))
+        sigma = 0.5
+        psi = wavefront_sweep(source, sigma)
+        denom = 1 + 2 * sigma
+        for k in range(source.shape[0]):
+            for j in range(source.shape[1]):
+                south = psi[k - 1, j] if k > 0 else 0.0
+                west = psi[k, j - 1] if j > 0 else 0.0
+                expected = (source[k, j] + sigma * (south + west)) / denom
+                assert psi[k, j] == pytest.approx(expected, rel=1e-13)
+
+    def test_matches_dense_triangular_solve(self):
+        """The sweep is a lower-triangular solve; verify against scipy."""
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+
+        rng = np.random.default_rng(11)
+        ny, nx = 5, 7
+        source = rng.uniform(0, 1, (ny, nx))
+        sigma = 0.3
+        n = ny * nx
+        A = sp.lil_matrix((n, n))
+        for k in range(ny):
+            for j in range(nx):
+                row = k * nx + j
+                A[row, row] = 1 + 2 * sigma
+                if k > 0:
+                    A[row, row - nx] = -sigma
+                if j > 0:
+                    A[row, row - 1] = -sigma
+        direct = spla.spsolve(A.tocsc(), source.ravel()).reshape(ny, nx)
+        np.testing.assert_allclose(wavefront_sweep(source, sigma), direct, rtol=1e-12)
+
+    def test_zero_coupling_is_scaled_source(self):
+        source = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose(wavefront_sweep(source, 0.0), source)
+
+    def test_diagonal_count(self):
+        assert sweep_diagonals(4, 6) == 9
+        assert sweep_diagonals(1, 1) == 1
+        with pytest.raises(ReproError):
+            sweep_diagonals(0, 4)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ReproError):
+            wavefront_sweep(np.ones((2, 2)), -0.1)

@@ -1,0 +1,116 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRun:
+    def test_default_problem(self, capsys):
+        rc = main(["run", "--mesh", "16", "--steps", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "step   1" in out
+        assert "trace:" in out
+
+    def test_with_model_and_solver(self, capsys):
+        rc = main(["run", "--mesh", "16", "--steps", "1", "--model", "cuda",
+                   "--solver", "ppcg"])
+        assert rc == 0
+        assert "model=cuda" in capsys.readouterr().out
+
+    def test_deck_file(self, tmp_path, capsys):
+        deck = tmp_path / "tea.in"
+        deck.write_text(
+            "*tea\nstate 1 density=100.0 energy=0.0001\n"
+            "state 2 density=0.1 energy=25.0 geometry=rectangle "
+            "xmin=0.0 xmax=4.0 ymin=1.0 ymax=8.0\n"
+            "x_cells=16\ny_cells=16\nend_step=1\ntl_eps=1e-8\ntl_use_cg\n*endtea"
+        )
+        rc = main(["run", str(deck)])
+        assert rc == 0
+        assert "16x16" in capsys.readouterr().out
+
+
+class TestModels:
+    def test_lists_all(self, capsys):
+        rc = main(["models"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("cuda", "kokkos", "raja", "opencl", "openmp4", "openacc"):
+            assert name in out
+
+
+class TestStream:
+    def test_prints_bandwidths(self, capsys):
+        rc = main(["stream"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "K20X" in out and "triad" in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        rc = main(["experiments", "--id", "table1", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "[PASS]" in out
+
+    def test_write_markdown(self, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        rc = main(["experiments", "--id", "table2", "--quick", "--write", str(target)])
+        assert rc == 0
+        assert target.exists()
+        assert "Table 2" in target.read_text()
+
+
+class TestProject:
+    def test_breakdown_output(self, capsys):
+        rc = main(["project", "--model", "openacc", "--device", "gpu",
+                   "--solver", "chebyshev", "--mesh", "512", "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "K20X" in out
+        assert "achieved bandwidth" in out
+        assert "offload regions" in out
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["project", "--device", "tpu"])
+
+
+class TestRoofline:
+    def test_all_devices_reported(self, capsys):
+        rc = main(["roofline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("ridge at") == 3
+        assert "[memory bound]" in out
+
+
+class TestValidate:
+    def test_all_ports_agree(self, capsys):
+        rc = main(["validate", "--mesh", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "cuda" in out and "raja" in out
+
+
+class TestComplexity:
+    def test_table_printed(self, capsys):
+        rc = main(["complexity"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "opencl" in out and "manual reductions" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])

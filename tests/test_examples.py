@@ -1,0 +1,57 @@
+"""The shipped examples run to completion (fast subset).
+
+``compare_models``/``mesh_scaling``/``knl_projection`` exercise the full
+projection pipeline and take minutes; they are covered indirectly by the
+harness tests, so only the fast examples run here as subprocesses.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "writing_a_port.py",
+    "mpi_decomposition.py",
+    "application_profiles.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "compare_models.py",
+        "mesh_scaling.py",
+        "mpi_decomposition.py",
+        "writing_a_port.py",
+        "knl_projection.py",
+        "application_profiles.py",
+    } <= names
+
+
+def test_quickstart_rejects_unknown_model():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "sycl"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode != 0
+    assert "unknown model" in proc.stderr
