@@ -12,7 +12,9 @@ The package contains:
   exchange, allreduce) behind a transparent multi-chunk port;
 * :mod:`repro.machine` — the device performance simulator for the paper's
   three devices: dual Xeon E5-2670, Tesla K20X, Xeon Phi KNC;
-* :mod:`repro.harness` — experiments regenerating every table and figure.
+* :mod:`repro.harness` — experiments regenerating every table and figure;
+* :mod:`repro.resilience` — fault injection, corruption detection, and
+  checkpoint/restart recovery for the solve pipeline (docs/resilience.md).
 
 Quickstart::
 
@@ -22,6 +24,31 @@ Quickstart::
     print(result.final_summary)
 """
 
-__version__ = "1.0.0"
+from repro.util.errors import (
+    CommError,
+    ConvergenceError,
+    CorruptionError,
+    DeckError,
+    DivergenceError,
+    FaultInjectionError,
+    MachineError,
+    ModelError,
+    ReproError,
+    SolverError,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DeckError",
+    "SolverError",
+    "ConvergenceError",
+    "CorruptionError",
+    "DivergenceError",
+    "FaultInjectionError",
+    "CommError",
+    "ModelError",
+    "MachineError",
+]

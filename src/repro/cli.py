@@ -21,15 +21,42 @@ from repro.models.base import DeviceKind, available_models, get_model
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
     if args.deck:
         deck = parse_deck_file(args.deck)
     else:
         deck = default_deck(n=args.mesh, solver=args.solver, end_step=args.steps)
     if args.solver and not args.deck:
         deck = deck.with_solver(args.solver)
-    app = TeaLeaf(deck, model=args.model)
+
+    # Resilience knobs layer on top of whatever the deck says.
+    overrides: dict[str, object] = {}
+    if args.inject:
+        specs = [deck.tl_inject] if deck.tl_inject else []
+        specs.extend(args.inject)
+        overrides["tl_inject"] = ",".join(specs)
+        overrides["tl_resilient"] = True
+    if args.resilient:
+        overrides["tl_resilient"] = True
+    if args.fault_seed is not None:
+        overrides["tl_fault_seed"] = args.fault_seed
+    if args.max_retries is not None:
+        overrides["tl_max_retries"] = args.max_retries
+    if overrides:
+        deck = dataclasses.replace(deck, **overrides)
+
+    if args.ranks and args.ranks > 1:
+        from repro.comm.multichunk import MultiChunkPort
+        from repro.models.tracing import Trace
+
+        trace = Trace()
+        port = MultiChunkPort(deck.grid(), args.ranks, model=args.model, trace=trace)
+        app = TeaLeaf(deck, port=port, trace=trace)
+    else:
+        app = TeaLeaf(deck, model=args.model)
     print(f"TeaLeaf {deck.x_cells}x{deck.y_cells}, solver={deck.solver}, "
-          f"model={args.model}")
+          f"model={app.model}")
     result = app.run()
     for step in result.steps:
         line = (
@@ -45,6 +72,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         print(line)
     print(f"\ntotal wall {result.wall_seconds:.2f}s; trace: {result.trace.summary()}")
+    if result.resilience is not None:
+        from repro.harness.report import render_resilience
+
+        print(render_resilience(result.resilience))
     if args.trace_out:
         result.trace.to_json(args.trace_out)
         print(f"wrote execution trace to {args.trace_out}")
@@ -192,6 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--solver", default="cg", help="cg|chebyshev|ppcg|jacobi")
     run.add_argument("--steps", type=int, default=2, help="timesteps (no deck file)")
     run.add_argument("--trace-out", help="write the execution trace as JSON")
+    run.add_argument(
+        "--ranks", type=int, default=0,
+        help="decompose over N in-process MPI ranks (0/1 = single chunk)",
+    )
+    run.add_argument(
+        "--inject", action="append", metavar="KIND:TARGET:N",
+        help="inject a fault, e.g. nan:u:5, bitflip:p:3, drop:p:2, "
+             "corrupt:u:4, raise:cg_calc_w:7, eigen:max:1 (repeatable)",
+    )
+    run.add_argument(
+        "--resilient", action="store_true",
+        help="enable checkpointing/detection/recovery even with no faults",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the deterministic fault-injection RNG",
+    )
+    run.add_argument(
+        "--max-retries", type=int, default=None,
+        help="rollback-and-retry budget per solve",
+    )
     run.set_defaults(fn=_cmd_run)
 
     models = sub.add_parser("models", help="list registered programming models")

@@ -13,7 +13,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.util.errors import ReproError
+from repro.util.errors import CommError, ReproError
 
 
 class Communicator:
@@ -53,7 +53,7 @@ class Communicator:
             if msg_src == src and msg_tag == tag:
                 del box[i]
                 return payload
-        raise ReproError(
+        raise CommError(
             f"deadlock: rank {dst} waits for (src={src}, tag={tag}) "
             "but no matching message was sent"
         )
@@ -61,6 +61,20 @@ class Communicator:
     def pending(self, rank: int) -> int:
         """Messages waiting in a rank's mailbox (0 after a clean exchange)."""
         return len(self._mailbox[rank])
+
+    def drain(self) -> int:
+        """Discard every undelivered message; returns how many were dropped.
+
+        Recovery hook: after a failed (dropped/corrupted) halo exchange the
+        surviving messages of that exchange are still queued, and a retry
+        would mis-collect them.  Draining restores the quiescent state a
+        rollback expects — the in-process analogue of cancelling
+        outstanding MPI requests before re-posting an exchange.
+        """
+        dropped = sum(len(box) for box in self._mailbox)
+        for box in self._mailbox:
+            box.clear()
+        return dropped
 
     def allreduce_sum(self, partials) -> float:
         """MPI_Allreduce(SUM) over one contribution per rank."""

@@ -80,6 +80,13 @@ class MultiChunkPort(Port):
         ]
         self._dt = 0.0
         self._coefficient = "conductivity"
+        #: Optional resilience FaultPlan; when set, outgoing halo messages
+        #: may be dropped or corrupted (see :meth:`attach_fault_plan`).
+        self.fault_plan = None
+
+    def attach_fault_plan(self, plan) -> None:
+        """Let a resilience ``FaultPlan`` interpose on halo messages."""
+        self.fault_plan = plan
 
     # ------------------------------------------------------------------ #
     # data interface
@@ -163,6 +170,10 @@ class MultiChunkPort(Port):
                     continue
                 buffer = pack_edge(arr, h, depth, side)
                 port._launch("halo_pack", cells=buffer.size)
+                if self.fault_plan is not None and not self.fault_plan.deliver_halo(
+                    name, buffer
+                ):
+                    continue  # message lost on the wire: receiver deadlocks
                 comm.Send(buffer, dest=nbr, tag=_TAGS[side] + field_tag)
         # Receive and unpack (or reflect at the physical boundary).
         for window, port in zip(self.windows, self.ports):

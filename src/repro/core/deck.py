@@ -84,6 +84,22 @@ class Deck:
     #: Write a VTK visualisation file every N steps (0 = never), as the
     #: reference app's visit_frequency does.
     visit_frequency: int = 0
+    #: Enable the resilience layer (checkpointing, divergence monitoring,
+    #: ABFT energy check, rollback-and-retry) even with no injected faults.
+    tl_resilient: bool = False
+    #: Comma-separated fault specs, e.g. ``nan:u:5,drop:p:3`` (empty = none).
+    #: A non-empty value implies ``tl_resilient``.
+    tl_inject: str = ""
+    #: Seed for the deterministic fault-injection RNG.
+    tl_fault_seed: int = 1234
+    #: Take an in-memory checkpoint every N solver iterations.
+    tl_checkpoint_frequency: int = 10
+    #: Rollback-and-retry budget per solve (and per-step ABFT retries).
+    tl_max_retries: int = 3
+    #: Consecutive residual-growth observations before declaring divergence.
+    tl_divergence_window: int = 4
+    #: Relative tolerance for the energy-conservation ABFT check.
+    tl_abft_tolerance: float = 1e-4
     states: tuple[State, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -110,6 +126,30 @@ class Deck:
                 f"unknown preconditioner '{self.tl_preconditioner_type}' "
                 "(expected none or jac_diag)"
             )
+        if self.tl_check_frequency < 1:
+            raise DeckError("tl_check_frequency must be positive")
+        if self.summary_frequency < 1:
+            raise DeckError("summary_frequency must be positive")
+        if self.visit_frequency < 0:
+            raise DeckError("visit_frequency must be non-negative")
+        if self.tl_checkpoint_frequency < 1:
+            raise DeckError("tl_checkpoint_frequency must be positive")
+        if self.tl_max_retries < 0:
+            raise DeckError("tl_max_retries must be non-negative")
+        if self.tl_divergence_window < 2:
+            raise DeckError("tl_divergence_window must be at least 2")
+        if not (0 < self.tl_abft_tolerance < 1):
+            raise DeckError("tl_abft_tolerance must be in (0, 1)")
+        if self.tl_inject:
+            # Validate the fault specs at deck time so a bad --inject or
+            # tl_inject line fails before any solve starts.  Imported
+            # lazily: deck is a core module and resilience sits above it.
+            from repro.resilience.faults import parse_injections
+
+            try:
+                parse_injections(self.tl_inject)
+            except ValueError as exc:
+                raise DeckError(f"bad tl_inject spec: {exc}") from exc
         if self.states and not any(s.index == 1 for s in self.states):
             raise DeckError("state 1 (the background) is missing")
 
@@ -188,6 +228,10 @@ _INT_KEYS = {
     "tl_check_frequency",
     "summary_frequency",
     "visit_frequency",
+    "tl_fault_seed",
+    "tl_checkpoint_frequency",
+    "tl_max_retries",
+    "tl_divergence_window",
 }
 _FLOAT_KEYS = {
     "xmin",
@@ -197,6 +241,7 @@ _FLOAT_KEYS = {
     "initial_timestep",
     "end_time",
     "tl_eps",
+    "tl_abft_tolerance",
 }
 _IGNORED_KEYS = {
     # accepted-and-ignored reference-deck keys, kept so real tea.in files load
@@ -239,6 +284,9 @@ def parse_deck(text: str) -> Deck:
         if lowered in SOLVER_FLAGS:
             values["solver"] = SOLVER_FLAGS[lowered]
             continue
+        if lowered == "tl_resilient":
+            values["tl_resilient"] = True
+            continue
         if lowered in _IGNORED_KEYS:
             continue
 
@@ -253,6 +301,8 @@ def parse_deck(text: str) -> Deck:
             values["tl_coefficient"] = value.lower()
         elif key == "tl_preconditioner_type":
             values["tl_preconditioner_type"] = value.lower()
+        elif key == "tl_inject":
+            values["tl_inject"] = value.lower()
         elif key in _INT_KEYS:
             try:
                 values[key] = int(value)

@@ -27,11 +27,13 @@ from typing import TYPE_CHECKING
 
 from repro.core.solvers import Solver, SolveResult, make_solver
 from repro.core.state import generate_chunk
+from repro.util.errors import CorruptionError
 from repro.util.timing import TimerRegistry
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
     from repro.models.base import Port
     from repro.models.tracing import Trace
+    from repro.resilience import ResilienceManager, ResilienceReport
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,8 @@ class StepResult:
     solve: SolveResult
     wall_seconds: float
     summary: FieldSummary | None = None
+    #: Whole-step retries forced by the ABFT energy check (resilience only).
+    retries: int = 0
 
 
 @dataclass
@@ -65,6 +69,8 @@ class RunResult:
     steps: list[StepResult]
     wall_seconds: float
     trace: Trace
+    #: Injection/detection/recovery accounting; None when resilience is off.
+    resilience: ResilienceReport | None = None
 
     @property
     def total_iterations(self) -> int:
@@ -95,6 +101,7 @@ class TeaLeaf:
         trace: Trace | None = None,
         port: Port | None = None,
         visit_dir: str | None = None,
+        resilience: ResilienceManager | None = None,
     ) -> None:
         # Imported here rather than at module scope: the models package
         # imports repro.core, so a top-level import would be circular.
@@ -113,9 +120,37 @@ class TeaLeaf:
         #: Directory for visit_frequency VTK dumps (default: cwd).
         self.visit_dir = visit_dir
 
+        # Resilience layer: only constructed when the deck (or caller) asks
+        # for it, so disabled runs pay nothing — the plain solver drives the
+        # plain port.  Imported lazily because repro.resilience sits above
+        # repro.core in the layering.
+        self.resilience = resilience
+        if self.resilience is None and (deck.tl_resilient or deck.tl_inject):
+            from repro.resilience import ResilienceConfig, ResilienceManager
+
+            self.resilience = ResilienceManager(
+                ResilienceConfig.from_deck(deck), trace=self.trace
+            )
+        if self.resilience is not None:
+            from repro.resilience import ResilientSolver
+
+            self.solver = ResilientSolver(self.solver, self.resilience)
+            attach = getattr(self.port, "attach_fault_plan", None)
+            if attach is not None:  # decomposed ports take comm-level faults
+                attach(self.resilience.plan)
+
         density, energy0 = generate_chunk(list(deck.states), self.grid)
         with self.trace.section("init"):
             self.port.set_state(density, energy0)
+
+        # ABFT invariant: the implicit conduction operator is zero-flux, so
+        # total internal energy (cell_volume * sum(density * energy)) is
+        # conserved exactly; energy0 never changes after init, making the
+        # expected value a run constant.
+        inner = self.grid.inner()
+        self._abft_expected = self.grid.cell_volume * float(
+            (density[inner] * energy0[inner]).sum()
+        )
 
     # ------------------------------------------------------------------ #
     def step(self) -> StepResult:
@@ -123,17 +158,36 @@ class TeaLeaf:
         self.step_count += 1
         dt = self.deck.initial_timestep
         t0 = time.perf_counter()
+        manager = self.resilience
+        if manager is not None:
+            manager.current_step = self.step_count
 
-        with self.timers["solve"], self.trace.section("solve"), self.trace.section(
-            self.deck.solver
-        ):
-            self.port.set_field()
-            self.port.begin_solve()
-            self.port.tea_leaf_init(dt, self.deck.tl_coefficient)
-            self.port.update_halo((F.U,), depth=self.grid.halo)
-            solve = self.solver.solve(self.port, self.deck)
-            self.port.tea_leaf_finalise()
-            self.port.end_solve()
+        retries = 0
+        while True:
+            with self.timers["solve"], self.trace.section("solve"), self.trace.section(
+                self.deck.solver
+            ):
+                self.port.set_field()
+                self.port.begin_solve()
+                self.port.tea_leaf_init(dt, self.deck.tl_coefficient)
+                self.port.update_halo((F.U,), depth=self.grid.halo)
+                solve = self.solver.solve(self.port, self.deck)
+                self.port.tea_leaf_finalise()
+                self.port.end_solve()
+            if manager is None:
+                break
+            violation = manager.abft_check(self.port, self._abft_expected)
+            if violation is None:
+                break
+            retries += 1
+            if retries > self.deck.tl_max_retries:
+                raise CorruptionError(
+                    f"ABFT energy check still failing after {retries - 1} "
+                    f"step retries: {violation}"
+                )
+            # set_field re-derives energy1 from the untouched energy0, so
+            # re-running the pipeline from the top is a clean step retry.
+            manager.retry_backoff(retries)
 
         self.sim_time += dt
         wall = time.perf_counter() - t0
@@ -160,6 +214,7 @@ class TeaLeaf:
             solve=solve,
             wall_seconds=wall,
             summary=summary,
+            retries=retries,
         )
 
     def _write_visit_file(self) -> None:
@@ -196,6 +251,7 @@ class TeaLeaf:
             steps=steps,
             wall_seconds=time.perf_counter() - t0,
             trace=self.trace,
+            resilience=self.resilience.report if self.resilience is not None else None,
         )
 
     # ------------------------------------------------------------------ #

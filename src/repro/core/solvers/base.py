@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
     from repro.models.base import Port
-from repro.util.errors import ConvergenceError
+from repro.util.errors import ConvergenceError, CorruptionError, SolverError
 
 
 @dataclass
@@ -58,6 +58,11 @@ class Solver(ABC):
 
     name: str = "?"
 
+    #: Optional seam applied to Chebyshev/PPCG eigenvalue estimates.  The
+    #: resilience layer uses it to inject eigenvalue corruption; it is
+    #: None (and costs one attribute check) in normal runs.
+    eigen_filter = None
+
     @abstractmethod
     def solve(self, port: Port, deck: Deck) -> SolveResult:
         """Advance ``u`` to the implicit solution of A u = u0."""
@@ -65,6 +70,20 @@ class Solver(ABC):
     # ------------------------------------------------------------------ #
     # shared machinery
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _finite(name: str, value: float) -> float:
+        """Scalar corruption guard: NaN/Inf must never propagate silently.
+
+        Applied to every reduction scalar and derived step scalar
+        (rro/pw/alpha/beta); one float check per global reduction, so it
+        stays on even when the resilience layer is disabled.
+        """
+        if not math.isfinite(value):
+            raise CorruptionError(
+                f"non-finite solver scalar {name} = {value!r}"
+            )
+        return value
+
     @staticmethod
     def _converged(rrn: float, rr0: float, eps: float) -> bool:
         """Relative residual test: ||r|| <= eps * ||r0||.
@@ -94,14 +113,22 @@ class Solver(ABC):
         """
         for _ in range(max_iters):
             port.update_halo((F.P,), depth=1)
-            pw = port.cg_calc_w()
+            pw = Solver._finite("pw", port.cg_calc_w())
             if pw == 0.0:
-                # p = 0: the residual is exactly zero; we are converged.
-                result.converged = True
-                break
-            alpha = rro / pw
-            rrn = port.cg_calc_ur(alpha)
-            beta = rrn / rro
+                # p.Ap = 0 with an SPD matrix means p = 0, which is only
+                # legitimate when the residual is already at tolerance;
+                # otherwise the Krylov process has broken down and
+                # reporting "converged" would silently return garbage.
+                if Solver._converged(rro, rr0, deck.tl_eps):
+                    result.converged = True
+                    break
+                raise SolverError(
+                    f"CG breakdown: p.Ap = 0 with squared residual "
+                    f"{rro:.3e} still above tolerance"
+                )
+            alpha = Solver._finite("alpha", rro / pw)
+            rrn = Solver._finite("rrn", port.cg_calc_ur(alpha))
+            beta = Solver._finite("beta", rrn / rro)
             result.cg_alphas.append(alpha)
             result.cg_betas.append(beta)
             result.iterations += 1

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.core import fields as F
 from repro.core.deck import Deck
 from repro.core.solvers.base import Solver, SolveResult
+from repro.util.errors import SolverError
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
@@ -23,7 +24,7 @@ class CGSolver(Solver):
     name = "cg"
 
     def solve(self, port: Port, deck: Deck) -> SolveResult:
-        rro = port.cg_init()
+        rro = self._finite("rro", port.cg_init())
         result = SolveResult(
             solver=self.name,
             converged=False,
@@ -49,15 +50,24 @@ class CGSolver(Solver):
         norm (rrn from cg_calc_ur), as in the reference kernels."""
         port.cg_precon_jacobi()  # z = M^-1 r
         port.ppcg_calc_p(0.0)  # p = z
-        rro = port.dot_fields(F.R, F.Z)
+        rro = Solver._finite("rro", port.dot_fields(F.R, F.Z))
         for _ in range(deck.tl_max_iters):
             port.update_halo((F.P,), depth=1)
-            pw = port.cg_calc_w()
+            pw = Solver._finite("pw", port.cg_calc_w())
             if pw == 0.0:
-                result.converged = True
-                break
-            alpha = rro / pw
-            rrn = port.cg_calc_ur(alpha)
+                # p.Ap = 0 means p = 0 (A is SPD): legitimate only when
+                # the true residual already meets the tolerance.  The old
+                # behaviour marked the solve converged unconditionally,
+                # silently accepting a broken-down Krylov basis.
+                if Solver._converged(result.error, rr0, deck.tl_eps):
+                    result.converged = True
+                    break
+                raise SolverError(
+                    f"preconditioned CG breakdown: p.Ap = 0 with squared "
+                    f"residual {result.error:.3e} still above tolerance"
+                )
+            alpha = Solver._finite("alpha", rro / pw)
+            rrn = Solver._finite("rrn", port.cg_calc_ur(alpha))
             result.iterations += 1
             result.error = rrn
             result.history.append((result.iterations, rrn))
@@ -65,7 +75,7 @@ class CGSolver(Solver):
                 result.converged = True
                 break
             port.cg_precon_jacobi()
-            rrz = port.dot_fields(F.R, F.Z)
-            beta = rrz / rro
+            rrz = Solver._finite("rrz", port.dot_fields(F.R, F.Z))
+            beta = Solver._finite("beta", rrz / rro)
             port.ppcg_calc_p(beta)
             rro = rrz

@@ -36,7 +36,7 @@ class ChebyshevSolver(Solver):
     name = "chebyshev"
 
     def solve(self, port: Port, deck: Deck) -> SolveResult:
-        rro = port.cg_init()
+        rro = self._finite("rro", port.cg_init())
         result = SolveResult(
             solver=self.name,
             converged=False,
@@ -55,6 +55,8 @@ class ChebyshevSolver(Solver):
         if result.converged:
             return result
         estimate = estimate_eigenvalues(result.cg_alphas, result.cg_betas)
+        if self.eigen_filter is not None:  # resilience fault-injection seam
+            estimate = self.eigen_filter(estimate)
         result.eigen_min = estimate.eigen_min
         result.eigen_max = estimate.eigen_max
 

@@ -18,6 +18,7 @@ from repro.core import fields as F
 from repro.core.deck import Deck
 from repro.core.solvers.base import Solver, SolveResult
 from repro.core.solvers.eigenvalue import EigenEstimate, estimate_eigenvalues
+from repro.util.errors import SolverError
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
@@ -49,7 +50,7 @@ class PPCGSolver(Solver):
     name = "ppcg"
 
     def solve(self, port: Port, deck: Deck) -> SolveResult:
-        rro = port.cg_init()
+        rro = self._finite("rro", port.cg_init())
         result = SolveResult(
             solver=self.name,
             converged=False,
@@ -68,6 +69,8 @@ class PPCGSolver(Solver):
         if result.converged:
             return result
         estimate = estimate_eigenvalues(result.cg_alphas, result.cg_betas)
+        if self.eigen_filter is not None:  # resilience fault-injection seam
+            estimate = self.eigen_filter(estimate)
         result.eigen_min = estimate.eigen_min
         result.eigen_max = estimate.eigen_max
         inner = deck.tl_ppcg_inner_steps
@@ -78,16 +81,23 @@ class PPCGSolver(Solver):
         apply_polynomial_preconditioner(port, estimate, inner)
         result.inner_iterations += inner
         port.copy_field(F.Z, F.P)
-        rro = port.dot_fields(F.R, F.Z)
+        rro = Solver._finite("rro", port.dot_fields(F.R, F.Z))
 
         while result.iterations < deck.tl_max_iters:
             port.update_halo((F.P,), depth=1)
-            pw = port.cg_calc_w()
+            pw = Solver._finite("pw", port.cg_calc_w())
             if pw == 0.0:
-                result.converged = True
-                break
-            alpha = rro / pw
-            rrn = port.cg_calc_ur(alpha)
+                # Same breakdown rule as the CG paths: p = 0 is only
+                # convergence when the true residual says so.
+                if self._converged(result.error, rr0, deck.tl_eps):
+                    result.converged = True
+                    break
+                raise SolverError(
+                    f"PPCG breakdown: p.Ap = 0 with squared residual "
+                    f"{result.error:.3e} still above tolerance"
+                )
+            alpha = Solver._finite("alpha", rro / pw)
+            rrn = Solver._finite("rrn", port.cg_calc_ur(alpha))
             result.iterations += 1
             result.error = rrn
             result.history.append((result.iterations, rrn))
@@ -96,8 +106,8 @@ class PPCGSolver(Solver):
                 break
             apply_polynomial_preconditioner(port, estimate, inner)
             result.inner_iterations += inner
-            rrz = port.dot_fields(F.R, F.Z)
-            beta = rrz / rro
+            rrz = Solver._finite("rrz", port.dot_fields(F.R, F.Z))
+            beta = Solver._finite("beta", rrz / rro)
             port.ppcg_calc_p(beta)
             rro = rrz
         return self.require_convergence(result, deck)

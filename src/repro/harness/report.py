@@ -60,3 +60,19 @@ def render_checks(checks) -> str:
         status = "PASS" if c.passed else "FAIL"
         lines.append(f"[{status}] {c.name}: {c.detail}")
     return "\n".join(lines) if lines else "(no checks)"
+
+
+def render_resilience(report) -> str:
+    """Resilience accounting: the summary counters plus one line per event.
+
+    The first line is the deterministic ``resilience: injections=... ``
+    summary (grep-able by CI); subsequent lines show each event in
+    chronological order with the step and solver iteration it landed on.
+    """
+    lines = [report.summary()]
+    for event in report.events:
+        lines.append(
+            f"  step {event.step:3d}  iter {event.iteration:5d}  "
+            f"{event.kind:10s} {event.detail}"
+        )
+    return "\n".join(lines)

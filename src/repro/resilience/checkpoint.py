@@ -1,0 +1,122 @@
+"""In-memory checkpoints of the solver-relevant fields.
+
+Two checkpoints are kept per solve:
+
+* the **anchor**, captured right after ``tea_leaf_init`` built ``u`` —
+  rolling back to it restarts the solve from scratch;
+* the **latest** periodic checkpoint, captured every
+  ``tl_checkpoint_frequency`` solver iterations — rolling back to it
+  loses at most one checkpoint interval of progress.
+
+A periodic capture is refused (silently skipped) when the state looks
+implausible — non-finite values, or ``u`` grown far beyond the anchor's
+magnitude — so a diverging solve can never overwrite the last *good*
+snapshot with poison.  Restoring writes the snapshot back through the
+port's host interface and refreshes the halo of ``u``, after which any
+solver can restart cleanly (CG rebuilds ``r``/``p`` from ``u`` in
+``cg_init``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import fields as F
+from repro.util.errors import CorruptionError
+
+#: Fields snapshotted per checkpoint: the solve variable, the CG work
+#: vectors, and the advancing energy (density never changes).
+CHECKPOINT_FIELDS: tuple[str, ...] = (F.U, F.R, F.P, F.SD, F.ENERGY1)
+
+#: A candidate snapshot whose max |u| exceeds the anchor's by this factor
+#: is considered diverged and is not saved.
+PLAUSIBLE_GROWTH = 1e3
+
+
+@dataclass
+class Checkpoint:
+    """One snapshot: global iteration number plus host field copies."""
+
+    iteration: int
+    fields: dict[str, np.ndarray]
+
+
+class CheckpointManager:
+    """Anchor + latest-periodic checkpoints over one port."""
+
+    def __init__(
+        self, frequency: int = 10, fields: tuple[str, ...] = CHECKPOINT_FIELDS
+    ) -> None:
+        self.frequency = frequency
+        self.field_names = fields
+        self.anchor: Checkpoint | None = None
+        self.latest: Checkpoint | None = None
+        self.taken = 0
+
+    def due(self, iteration: int) -> bool:
+        return self.frequency > 0 and iteration % self.frequency == 0
+
+    # ------------------------------------------------------------------ #
+    def _snapshot(self, port, iteration: int) -> Checkpoint:
+        arrays = {name: port.read_field(name) for name in self.field_names}
+        return Checkpoint(iteration=iteration, fields=arrays)
+
+    def _validate(self, ckpt: Checkpoint, halo: int) -> list[str]:
+        h = halo
+        return [
+            name
+            for name, arr in ckpt.fields.items()
+            if not np.isfinite(arr[h:-h, h:-h]).all()
+        ]
+
+    def capture_anchor(self, port, iteration: int) -> None:
+        """Snapshot the solve-start state; corruption here is fatal."""
+        ckpt = self._snapshot(port, iteration)
+        bad = self._validate(ckpt, port.h)
+        if bad:
+            raise CorruptionError(
+                f"non-finite values in field(s) {', '.join(bad)} at solve start"
+            )
+        self.anchor = ckpt
+        self.latest = ckpt
+        self.taken += 1
+
+    def capture_periodic(self, port, iteration: int) -> None:
+        """Snapshot mid-solve state; raises on corruption, skips if diverged.
+
+        Raising on a non-finite field is the detection path the NaN
+        injection tests exercise: corruption is caught within one
+        checkpoint interval of being planted.
+        """
+        ckpt = self._snapshot(port, iteration)
+        bad = self._validate(ckpt, port.h)
+        if bad:
+            raise CorruptionError(
+                f"non-finite values in field(s) {', '.join(bad)} "
+                f"detected at checkpoint (iteration {iteration})"
+            )
+        if self.anchor is not None:
+            h = port.h
+            anchor_peak = float(np.abs(self.anchor.fields[F.U][h:-h, h:-h]).max())
+            peak = float(np.abs(ckpt.fields[F.U][h:-h, h:-h]).max())
+            if peak > PLAUSIBLE_GROWTH * max(anchor_peak, 1.0):
+                return  # diverging state: keep the last good snapshot
+        self.latest = ckpt
+        self.taken += 1
+
+    # ------------------------------------------------------------------ #
+    def restore(self, port, anchor: bool = False) -> int:
+        """Write a checkpoint back into the port; returns its iteration."""
+        ckpt = self.anchor if anchor else self.latest
+        if ckpt is None:
+            raise CorruptionError("no checkpoint available to roll back to")
+        for name, arr in ckpt.fields.items():
+            port.write_field(name, arr)
+        # Neighbour/reflective halos of u must be consistent before the
+        # restarted solve's first matvec.
+        port.update_halo((F.U,), depth=1)
+        if anchor:
+            self.latest = self.anchor
+        return ckpt.iteration

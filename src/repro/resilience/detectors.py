@@ -1,0 +1,107 @@
+"""Corruption and divergence detectors.
+
+Detection is deliberately layered by cost:
+
+* scalar ``isfinite`` guards on every solver reduction (always on — they
+  cost one float check per global reduction and live in the solvers
+  themselves, see :meth:`repro.core.solvers.base.Solver._finite`);
+* the :class:`ResidualMonitor` here, fed by the guarded port with every
+  residual observation, which converts sustained growth into a
+  :class:`~repro.util.errors.DivergenceError`;
+* field-level ``isfinite`` sweeps, run only at checkpoint cadence and
+  after a solve completes (:func:`non_finite_fields`);
+* the energy-conservation ABFT check between driver steps
+  (:func:`abft_energy_violation`), reusing the ``field_summary`` kernel:
+  the implicit conduction operator conserves total internal energy with
+  zero-flux walls, so drift beyond the solver tolerance means silent
+  corruption slipped past the cheaper guards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import DivergenceError
+
+#: Squared residual norms beyond this are treated as overflow-in-progress.
+HARD_RESIDUAL_LIMIT = 1e250
+
+
+class ResidualMonitor:
+    """Raise :class:`DivergenceError` on sustained residual growth.
+
+    A solve is flagged as diverging when the observed squared residual
+    norm exceeds ``growth_factor`` times the best (smallest) value seen
+    this attempt for ``window`` consecutive observations.  Healthy CG
+    residual norms oscillate but stay near their running best, so the
+    factor keeps false positives out while corrupted Chebyshev intervals
+    (exponential growth) trip the monitor within a few checks.
+    """
+
+    def __init__(self, window: int = 4, growth_factor: float = 1e3) -> None:
+        self.window = window
+        self.growth_factor = growth_factor
+        self.reset()
+
+    def reset(self) -> None:
+        self.best = float("inf")
+        self.streak = 0
+        self.last: float | None = None
+
+    def observe(self, rrn: float) -> float:
+        """Feed one squared residual norm; returns it for chaining."""
+        self.last = rrn
+        if rrn > HARD_RESIDUAL_LIMIT:
+            raise DivergenceError(
+                f"residual norm overflow ({rrn:.3e}): solve is diverging",
+                observations=self.streak + 1,
+                residual=rrn,
+            )
+        if rrn < self.best:
+            self.best = rrn
+            self.streak = 0
+            return rrn
+        if rrn > self.growth_factor * self.best:
+            self.streak += 1
+            if self.streak >= self.window:
+                raise DivergenceError(
+                    f"residual grew for {self.streak} consecutive "
+                    f"observations (now {rrn:.3e}, best {self.best:.3e})",
+                    observations=self.streak,
+                    residual=rrn,
+                )
+        else:
+            self.streak = 0
+        return rrn
+
+
+def non_finite_fields(port, names) -> list[str]:
+    """Names of the given fields containing any NaN/Inf interior value."""
+    h = port.h
+    bad = []
+    for name in names:
+        arr = port.read_field(name)
+        if not np.isfinite(arr[h:-h, h:-h]).all():
+            bad.append(name)
+    return bad
+
+
+def abft_energy_violation(
+    observed_ie: float, expected_ie: float, tolerance: float
+) -> str | None:
+    """Energy-conservation ABFT check; returns a description or None.
+
+    ``expected_ie`` is the total internal energy of the initial condition
+    (sum of density * energy0 * cell volume over the interior), which the
+    conduction solve must preserve to within the solver tolerance.
+    """
+    if not np.isfinite(observed_ie):
+        return f"internal energy is non-finite ({observed_ie!r})"
+    drift = abs(observed_ie - expected_ie) / abs(expected_ie)
+    if drift > tolerance:
+        return (
+            f"internal energy drifted {drift:.3e} "
+            f"(observed {observed_ie:.9e}, expected {expected_ie:.9e}, "
+            f"tolerance {tolerance:.1e})"
+        )
+    return None

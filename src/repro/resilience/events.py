@@ -1,0 +1,89 @@
+"""Resilience event log and the per-run report surfaced in RunResult.
+
+Every injection, detection, and recovery action is recorded as one
+:class:`ResilienceEvent`, mirroring how the execution :class:`Trace`
+records kernel launches: the harness and the benchmarks can then count
+recovery overhead exactly like they count kernel launches, making
+robustness a measured, cross-model quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Event kinds, in the order they usually occur.
+INJECT = "inject"
+DETECT = "detect"
+ROLLBACK = "rollback"
+RETRY = "retry"
+DEGRADE = "degrade"
+
+_KINDS = (INJECT, DETECT, ROLLBACK, RETRY, DEGRADE)
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One injection / detection / recovery action."""
+
+    kind: str
+    detail: str
+    #: Driver timestep during which the event occurred (0 outside a run).
+    step: int
+    #: Global solver iteration count when the event occurred.
+    iteration: int
+    #: Backoff slept before a retry (retry events only).
+    backoff_seconds: float = 0.0
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregate resilience outcome of one run (``RunResult.resilience``)."""
+
+    events: list[ResilienceEvent] = field(default_factory=list)
+    #: Solver iterations performed in attempts that were later rolled back.
+    wasted_iterations: int = 0
+    #: Checkpoints captured over the run.
+    checkpoints_taken: int = 0
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def injections(self) -> int:
+        return self.count(INJECT)
+
+    @property
+    def detections(self) -> int:
+        return self.count(DETECT)
+
+    @property
+    def rollbacks(self) -> int:
+        return self.count(ROLLBACK)
+
+    @property
+    def degradations(self) -> int:
+        return self.count(DEGRADE)
+
+    @property
+    def retries(self) -> int:
+        return self.count(RETRY)
+
+    @property
+    def recoveries(self) -> int:
+        """Recovery actions taken (rollbacks plus solver degradations)."""
+        return self.rollbacks + self.degradations
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(e.backoff_seconds for e in self.events)
+
+    def summary(self) -> str:
+        """One deterministic line, grep-able by the CI smoke job."""
+        return (
+            f"resilience: injections={self.injections} "
+            f"detections={self.detections} recoveries={self.recoveries} "
+            f"rollbacks={self.rollbacks} degradations={self.degradations} "
+            f"retries={self.retries} wasted_iterations={self.wasted_iterations} "
+            f"checkpoints={self.checkpoints_taken} "
+            f"backoff={self.total_backoff_seconds:.3f}s"
+        )

@@ -1,0 +1,121 @@
+"""GuardedPort: the instrumented Port proxy the resilient solver drives.
+
+The proxy is duck-typed (solvers only ever call Port methods), delegates
+everything it does not intercept via ``__getattr__``, and adds, per call:
+
+* a fault-plan trigger check (``raise:<kernel>:<n>`` specs);
+* an ``isfinite`` guard on every reduction scalar returned to the solver;
+* residual observations into the divergence monitor;
+* the global iteration count that drives field-fault injection and
+  periodic checkpoints.
+
+A run without resilience never constructs this class, so the disabled
+path has exactly zero overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core import fields as F
+
+if TYPE_CHECKING:
+    from repro.resilience.recovery import ResilienceManager
+
+
+class GuardedPort:
+    """Fault-injecting, corruption-detecting proxy over any Port."""
+
+    def __init__(self, inner, manager: "ResilienceManager") -> None:
+        self._inner = inner
+        self._manager = manager
+
+    def __getattr__(self, name: str):
+        # read_field / write_field / grid / trace / begin_solve / ...
+        return getattr(self._inner, name)
+
+    # ------------------------------------------------------------------ #
+    # reductions: guard the returned scalar
+    # ------------------------------------------------------------------ #
+    def cg_init(self) -> float:
+        m = self._manager
+        m.kernel_call("cg_init")
+        return m.guard_scalar("rro", self._inner.cg_init())
+
+    def cg_calc_w(self) -> float:
+        m = self._manager
+        m.kernel_call("cg_calc_w")
+        return m.guard_scalar("pw", self._inner.cg_calc_w())
+
+    def cg_calc_ur(self, alpha: float) -> float:
+        m = self._manager
+        m.kernel_call("cg_calc_ur")
+        rrn = m.guard_scalar("rrn", self._inner.cg_calc_ur(alpha))
+        m.observe_residual(rrn)
+        m.iteration_complete(self._inner)
+        return rrn
+
+    def dot_fields(self, a: str, b: str) -> float:
+        m = self._manager
+        m.kernel_call("dot_fields")
+        return m.guard_scalar(f"dot({a},{b})", self._inner.dot_fields(a, b))
+
+    def norm2_field(self, name: str) -> float:
+        m = self._manager
+        m.kernel_call("norm2_field")
+        value = m.guard_scalar(f"norm2({name})", self._inner.norm2_field(name))
+        if name == F.R:
+            m.observe_residual(value)
+        return value
+
+    def jacobi_iterate(self) -> float:
+        m = self._manager
+        m.kernel_call("jacobi_iterate")
+        change = m.guard_scalar("jacobi_change", self._inner.jacobi_iterate())
+        m.iteration_complete(self._inner)
+        return change
+
+    # ------------------------------------------------------------------ #
+    # non-reducing kernels: fault trigger + iteration accounting
+    # ------------------------------------------------------------------ #
+    def cg_calc_p(self, beta: float) -> None:
+        self._manager.kernel_call("cg_calc_p")
+        self._inner.cg_calc_p(beta)
+
+    def ppcg_calc_p(self, beta: float) -> None:
+        self._manager.kernel_call("ppcg_calc_p")
+        self._inner.ppcg_calc_p(beta)
+
+    def cg_precon_jacobi(self) -> None:
+        self._manager.kernel_call("cg_precon_jacobi")
+        self._inner.cg_precon_jacobi()
+
+    def cheby_init(self, theta: float) -> None:
+        self._manager.kernel_call("cheby_init")
+        self._inner.cheby_init(theta)
+
+    def cheby_iterate(self, alpha: float, beta: float) -> None:
+        m = self._manager
+        m.kernel_call("cheby_iterate")
+        self._inner.cheby_iterate(alpha, beta)
+        m.iteration_complete(self._inner)
+
+    def ppcg_precon_init(self, theta: float) -> None:
+        self._manager.kernel_call("ppcg_precon_init")
+        self._inner.ppcg_precon_init(theta)
+
+    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
+        self._manager.kernel_call("ppcg_precon_inner")
+        self._inner.ppcg_precon_inner(alpha, beta)
+
+    def tea_leaf_residual(self) -> None:
+        self._manager.kernel_call("tea_leaf_residual")
+        self._inner.tea_leaf_residual()
+
+    def copy_field(self, src: str, dst: str) -> None:
+        self._manager.kernel_call("copy_field")
+        self._inner.copy_field(src, dst)
+
+    def update_halo(self, names: Iterable[str], depth: int) -> None:
+        self._manager.kernel_call("update_halo")
+        self._inner.update_halo(names, depth)

@@ -1,0 +1,278 @@
+"""Recovery orchestration: config, the manager, and the resilient solver.
+
+:class:`ResilientSolver` wraps any TeaLeaf solver and drives it through a
+:class:`~repro.resilience.guard.GuardedPort`.  When a detector fires —
+non-finite reduction scalar, corrupted checkpoint field, residual
+divergence, injected kernel failure, lost halo message, or an exhausted
+iteration budget — it rolls the fields back to a checkpoint and retries,
+with exponential backoff and bounded attempts.  Chebyshev and PPCG
+degrade to plain CG instead of retrying themselves: their eigenvalue
+bootstrap is the fragile phase, and CG is the robust baseline every port
+implements, so a run finishes with a degradation report instead of dying.
+
+Rollback target policy: pointwise corruption (NaN/bitflip/lost message)
+restores the *latest* periodic checkpoint — at most one checkpoint
+interval of progress is lost; divergence and budget exhaustion restore
+the solve-start *anchor*, because intermediate snapshots of a sick solve
+are not worth resuming from.
+
+Every action is recorded both in the :class:`ResilienceReport` (surfaced
+as ``RunResult.resilience``) and as a ``resilience:*`` region in the
+execution trace, so recovery overhead is countable exactly like kernel
+launches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core import fields as F
+from repro.core.deck import Deck
+from repro.core.solvers import CGSolver, ChebyshevSolver, PPCGSolver, Solver
+from repro.core.solvers.base import SolveResult
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.detectors import (
+    ResidualMonitor,
+    abft_energy_violation,
+    non_finite_fields,
+)
+from repro.resilience.events import (
+    DEGRADE,
+    DETECT,
+    INJECT,
+    RETRY,
+    ROLLBACK,
+    ResilienceEvent,
+    ResilienceReport,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, parse_injections
+from repro.resilience.guard import GuardedPort
+from repro.util.errors import (
+    CommError,
+    ConvergenceError,
+    CorruptionError,
+    DivergenceError,
+    FaultInjectionError,
+)
+
+#: Failures the recovery layer will roll back and retry on.
+RECOVERABLE_ERRORS = (
+    CorruptionError,
+    DivergenceError,
+    FaultInjectionError,
+    CommError,
+    ConvergenceError,
+)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the resilience layer (deck options + CLI overrides)."""
+
+    seed: int = 1234
+    injections: tuple[FaultSpec, ...] = ()
+    #: Periodic checkpoint cadence in solver iterations; also the bound K
+    #: on how long planted field corruption can go undetected.
+    checkpoint_frequency: int = 10
+    max_retries: int = 3
+    #: Consecutive growing residual observations before DivergenceError.
+    divergence_window: int = 4
+    divergence_growth: float = 1e3
+    #: Relative drift of total internal energy tolerated by the ABFT check.
+    abft_tolerance: float = 1e-4
+    backoff_base_seconds: float = 0.002
+
+    @classmethod
+    def from_deck(cls, deck: Deck) -> "ResilienceConfig":
+        return cls(
+            seed=deck.tl_fault_seed,
+            injections=parse_injections(deck.tl_inject),
+            checkpoint_frequency=deck.tl_checkpoint_frequency,
+            max_retries=deck.tl_max_retries,
+            divergence_window=deck.tl_divergence_window,
+            abft_tolerance=deck.tl_abft_tolerance,
+        )
+
+
+class ResilienceManager:
+    """Shared state of one resilient run: plan, detectors, checkpoints, log."""
+
+    def __init__(self, config: ResilienceConfig, trace=None) -> None:
+        self.config = config
+        self.trace = trace
+        self.plan = FaultPlan(
+            config.injections, seed=config.seed, on_fire=self._on_injection
+        )
+        self.monitor = ResidualMonitor(
+            window=config.divergence_window,
+            growth_factor=config.divergence_growth,
+        )
+        self.checkpoints = CheckpointManager(frequency=config.checkpoint_frequency)
+        self.report = ResilienceReport()
+        #: Global solver iteration count (cg_calc_ur / cheby / jacobi sweeps).
+        self.iteration = 0
+        #: Driver timestep, set by TeaLeaf.step() for event attribution.
+        self.current_step = 0
+
+    # ------------------------------------------------------------------ #
+    # event log
+    # ------------------------------------------------------------------ #
+    def record(self, kind: str, detail: str, backoff_seconds: float = 0.0) -> None:
+        self.report.events.append(
+            ResilienceEvent(
+                kind=kind,
+                detail=detail,
+                step=self.current_step,
+                iteration=self.iteration,
+                backoff_seconds=backoff_seconds,
+            )
+        )
+        if self.trace is not None:
+            with self.trace.section("resilience"):
+                self.trace.region(f"resilience:{kind}")
+
+    def _on_injection(self, spec: FaultSpec, detail: str) -> None:
+        self.record(INJECT, f"{spec.render()}: {detail}")
+
+    # ------------------------------------------------------------------ #
+    # guard callbacks (hot path when resilience is enabled)
+    # ------------------------------------------------------------------ #
+    def kernel_call(self, name: str) -> None:
+        if self.plan:
+            self.plan.kernel_called(name)
+
+    def guard_scalar(self, name: str, value: float) -> float:
+        # The solvers' own Solver._finite guard covers their scalars; this
+        # duplicates it for reductions the solver consumes unchecked.
+        import math
+
+        if not math.isfinite(value):
+            raise CorruptionError(
+                f"non-finite reduction scalar {name} = {value!r}"
+            )
+        return value
+
+    def observe_residual(self, rrn: float) -> None:
+        self.monitor.observe(rrn)
+
+    def iteration_complete(self, port) -> None:
+        self.iteration += 1
+        if self.plan:
+            for index, spec in self.plan.field_faults_due(self.iteration):
+                arr = port.read_field(spec.target)
+                self.plan.apply_field_fault(index, arr, port.h)
+                port.write_field(spec.target, arr)
+        if self.checkpoints.due(self.iteration):
+            self.checkpoints.capture_periodic(port, self.iteration)
+            self.report.checkpoints_taken = self.checkpoints.taken
+
+    def eigen_filter(self, estimate):
+        if not self.plan:
+            return estimate
+        return self.plan.filter_eigen_estimate(estimate)
+
+    # ------------------------------------------------------------------ #
+    # recovery actions
+    # ------------------------------------------------------------------ #
+    def begin_solve(self, port) -> None:
+        self.monitor.reset()
+        self.checkpoints.capture_anchor(port, self.iteration)
+        self.report.checkpoints_taken = self.checkpoints.taken
+
+    def validate_solution(self, port) -> None:
+        bad = non_finite_fields(port, (F.U,))
+        if bad:
+            raise CorruptionError(
+                f"solve returned with non-finite values in {', '.join(bad)}"
+            )
+
+    def rollback(self, port, anchor: bool = False) -> None:
+        target = "anchor" if anchor else "latest checkpoint"
+        restored = self.checkpoints.restore(port, anchor=anchor)
+        self.record(
+            ROLLBACK,
+            f"restored {target} (iteration {restored}) into "
+            f"{', '.join(self.checkpoints.field_names)}",
+        )
+
+    def drain_comm(self, port) -> None:
+        world = getattr(port, "world", None)
+        if world is not None:
+            dropped = world.drain()
+            if dropped:
+                self.record(
+                    DETECT, f"drained {dropped} undelivered halo message(s)"
+                )
+
+    def retry_backoff(self, attempt: int) -> None:
+        seconds = self.config.backoff_base_seconds * (2 ** (attempt - 1))
+        if seconds > 0:
+            time.sleep(seconds)
+        self.record(
+            RETRY, f"retry attempt {attempt}", backoff_seconds=seconds
+        )
+
+    def abft_check(self, port, expected_ie: float) -> str | None:
+        """Energy-conservation ABFT between steps; records a detection."""
+        if self.trace is not None:
+            with self.trace.section("resilience"):
+                summary = port.field_summary()
+        else:
+            summary = port.field_summary()
+        violation = abft_energy_violation(
+            summary[2], expected_ie, self.config.abft_tolerance
+        )
+        if violation is not None:
+            self.record(DETECT, f"ABFT: {violation}")
+        return violation
+
+
+class ResilientSolver(Solver):
+    """Any solver, wrapped with detection, rollback-retry, and degradation."""
+
+    def __init__(self, inner: Solver, manager: ResilienceManager) -> None:
+        self.inner = inner
+        self.manager = manager
+        self.name = inner.name
+        # Seam for eigenvalue-corruption injection (cheby/ppcg bootstrap).
+        inner.eigen_filter = manager.eigen_filter
+
+    def solve(self, port, deck: Deck) -> SolveResult:
+        m = self.manager
+        guarded = GuardedPort(port, m)
+        m.begin_solve(port)
+        solver: Solver = self.inner
+        attempt = 0
+        attempt_start = m.iteration
+        while True:
+            try:
+                result = solver.solve(guarded, deck)
+                m.validate_solution(port)
+                return result
+            except RECOVERABLE_ERRORS as exc:
+                attempt += 1
+                m.report.wasted_iterations += m.iteration - attempt_start
+                m.record(DETECT, f"{type(exc).__name__}: {exc}")
+                if attempt > m.config.max_retries:
+                    raise
+                m.drain_comm(port)
+                degrade = isinstance(solver, (ChebyshevSolver, PPCGSolver))
+                # Divergence and exhausted budgets restart from the anchor:
+                # mid-flight snapshots of a sick solve are not worth
+                # resuming.  Pointwise corruption resumes from the latest
+                # good periodic checkpoint.
+                to_anchor = degrade or isinstance(
+                    exc, (DivergenceError, ConvergenceError)
+                )
+                m.rollback(port, anchor=to_anchor)
+                if degrade:
+                    solver = CGSolver()
+                    m.record(
+                        DEGRADE,
+                        f"{self.inner.name} degraded to cg after "
+                        f"{type(exc).__name__}",
+                    )
+                m.retry_backoff(attempt)
+                m.monitor.reset()
+                attempt_start = m.iteration

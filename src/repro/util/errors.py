@@ -34,6 +34,60 @@ class ConvergenceError(SolverError):
         self.residual = residual
 
 
+class CorruptionError(SolverError):
+    """Detected data corruption: a non-finite value reached a solver
+    reduction scalar, a checkpointed field, or the conservation (ABFT)
+    check.
+
+    Raised by the always-on scalar guards in the solvers and by the
+    resilience layer's field validation; the recovery machinery in
+    :mod:`repro.resilience` catches it to roll back to the last good
+    checkpoint instead of letting NaN/Inf propagate silently.
+    """
+
+
+class DivergenceError(SolverError):
+    """An iterative solve is diverging rather than converging.
+
+    Raised by the residual-divergence monitor when the residual norm has
+    grown past its best observed value for ``window`` consecutive
+    observations (or exceeded a hard overflow limit).  Distinct from
+    :class:`ConvergenceError`, which means the iteration *budget* ran out;
+    divergence means continuing would only make the state worse.
+
+    Attributes
+    ----------
+    observations:
+        Number of consecutive growing residual observations.
+    residual:
+        Last observed squared residual 2-norm.
+    """
+
+    def __init__(self, message: str, *, observations: int, residual: float):
+        super().__init__(message)
+        self.observations = observations
+        self.residual = residual
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault forced a kernel to fail.
+
+    Only ever raised by the fault-injection layer
+    (:mod:`repro.resilience.faults`) when a ``raise:<kernel>:<n>`` spec
+    fires — it simulates a hard kernel/device failure so that the recovery
+    paths can be exercised deterministically.
+    """
+
+
+class CommError(ReproError):
+    """A simulated communication failure.
+
+    Raised when a rank receives a message that was never sent (the
+    in-process analogue of an MPI deadlock/timeout) — including when a
+    fault-injection plan deliberately dropped a halo-exchange message.
+    """
+
+
 class ModelError(ReproError):
     """A programming-model emulation was used incorrectly.
 

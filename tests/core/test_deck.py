@@ -132,6 +132,38 @@ class TestDeckValidation:
         with pytest.raises(DeckError):
             Deck(tl_cg_eigen_steps=1, states=default_deck().states)
 
+    def test_rejects_nonpositive_max_iters(self):
+        with pytest.raises(DeckError):
+            Deck(tl_max_iters=0, states=default_deck().states)
+
+    @pytest.mark.parametrize("frequency", [0, -3])
+    def test_rejects_nonpositive_summary_frequency(self, frequency):
+        with pytest.raises(DeckError, match="summary_frequency"):
+            Deck(summary_frequency=frequency, states=default_deck().states)
+
+    def test_rejects_nonpositive_check_frequency(self):
+        with pytest.raises(DeckError, match="tl_check_frequency"):
+            Deck(tl_check_frequency=0, states=default_deck().states)
+
+    def test_rejects_negative_visit_frequency(self):
+        with pytest.raises(DeckError, match="visit_frequency"):
+            Deck(visit_frequency=-1, states=default_deck().states)
+
+    def test_rejects_bad_resilience_options(self):
+        states = default_deck().states
+        with pytest.raises(DeckError, match="tl_checkpoint_frequency"):
+            Deck(tl_checkpoint_frequency=0, states=states)
+        with pytest.raises(DeckError, match="tl_max_retries"):
+            Deck(tl_max_retries=-1, states=states)
+        with pytest.raises(DeckError, match="tl_divergence_window"):
+            Deck(tl_divergence_window=1, states=states)
+        with pytest.raises(DeckError, match="tl_abft_tolerance"):
+            Deck(tl_abft_tolerance=0.0, states=states)
+
+    def test_rejects_bad_inject_spec(self):
+        with pytest.raises(DeckError, match="tl_inject"):
+            Deck(tl_inject="frazzle:u:5", states=default_deck().states)
+
 
 class TestHelpers:
     def test_default_deck_round_trip(self):
