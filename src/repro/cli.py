@@ -43,6 +43,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["tl_fault_seed"] = args.fault_seed
     if args.max_retries is not None:
         overrides["tl_max_retries"] = args.max_retries
+    if args.kill_rank:
+        # --kill-rank ITER:RANK sugar over the kill:<rank>:<iter> spec.
+        specs = [overrides.get("tl_inject", deck.tl_inject) or ""]
+        specs = [s for s in specs if s]
+        for kill in args.kill_rank:
+            parts = kill.split(":")
+            if len(parts) != 2:
+                print(f"bad --kill-rank '{kill}' (expected ITER:RANK)",
+                      file=sys.stderr)
+                return 2
+            specs.append(f"kill:{parts[1]}:{parts[0]}")
+        overrides["tl_inject"] = ",".join(specs)
+        overrides["tl_resilient"] = True
+    if args.rank_policy is not None:
+        overrides["tl_rank_policy"] = args.rank_policy
+    if args.spare_ranks is not None:
+        overrides["tl_spare_ranks"] = args.spare_ranks
     if overrides:
         deck = dataclasses.replace(deck, **overrides)
 
@@ -51,7 +68,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.models.tracing import Trace
 
         trace = Trace()
-        port = MultiChunkPort(deck.grid(), args.ranks, model=args.model, trace=trace)
+        port = MultiChunkPort(
+            deck.grid(),
+            args.ranks,
+            model=args.model,
+            trace=trace,
+            rank_policy=deck.tl_rank_policy,
+            spare_ranks=deck.tl_spare_ranks,
+        )
         app = TeaLeaf(deck, port=port, trace=trace)
     else:
         app = TeaLeaf(deck, model=args.model)
@@ -230,7 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--inject", action="append", metavar="KIND:TARGET:N",
         help="inject a fault, e.g. nan:u:5, bitflip:p:3, drop:p:2, "
-             "corrupt:u:4, raise:cg_calc_w:7, eigen:max:1 (repeatable)",
+             "corrupt:u:4, raise:cg_calc_w:7, eigen:max:1, kill:1:30, "
+             "delay:p:2 (repeatable)",
     )
     run.add_argument(
         "--resilient", action="store_true",
@@ -244,13 +269,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=None,
         help="rollback-and-retry budget per solve",
     )
+    run.add_argument(
+        "--kill-rank", action="append", metavar="ITER:RANK",
+        help="fail-stop RANK at global solver iteration ITER (repeatable; "
+             "needs --ranks and a --rank-policy to survive)",
+    )
+    run.add_argument(
+        "--rank-policy", choices=["none", "spare", "shrink"], default=None,
+        help="recovery policy for dead ranks (overrides tl_rank_policy)",
+    )
+    run.add_argument(
+        "--spare-ranks", type=int, default=None,
+        help="reserve ranks for the spare policy (overrides tl_spare_ranks)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     models = sub.add_parser("models", help="list registered programming models")
     models.set_defaults(fn=_cmd_models)
 
     exp = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
-    exp.add_argument("--id", help="one experiment (table1, table2, fig8..fig12)")
+    exp.add_argument(
+        "--id",
+        help="one experiment (table1, table2, fig8..fig12, rank_resilience)",
+    )
     exp.add_argument("--quick", action="store_true", help="smaller projected meshes")
     exp.add_argument("--write", nargs="?", const="EXPERIMENTS.md", default=None,
                      help="write EXPERIMENTS.md (optionally at PATH)")

@@ -5,15 +5,45 @@ per-rank handle with ``Send``/``Recv`` (buffer semantics, upper-case like
 mpi4py's fast path) and ``allreduce``.  Because ranks execute sequentially
 in-process, a ``Recv`` of a message that was never sent is a deadlock on a
 real machine — here it raises immediately, which the tests rely on.
+
+Rank-level fault tolerance hooks (see :mod:`repro.resilience.ranks`):
+
+* a **liveness table** — :meth:`Communicator.kill` marks a rank fail-stop
+  dead; :meth:`ping` / :meth:`heartbeat` are the polling API the driver
+  and the resilience layer use between halo exchanges;
+* **deadline semantics** — a ``Recv`` whose peer is dead, or whose
+  message is straggling past the deadline (:meth:`post_late`), raises
+  :class:`~repro.util.errors.CommTimeoutError` instead of the silent
+  deadlock a real machine would hang in;
+* **failure-aware collectives** — ``allreduce_sum`` refuses dead
+  participants and names the offending rank when a partial is non-finite,
+  so NaN can never fan out silently to every rank's scalar.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
 
-from repro.util.errors import CommError, ReproError
+from repro.util.errors import CommError, CommTimeoutError, ReproError
+
+
+class DrainReport(int):
+    """Total dropped messages, with a per-destination-rank breakdown.
+
+    Behaves as a plain ``int`` (the historical ``drain()`` return value)
+    so existing callers keep working; ``per_rank`` maps destination rank
+    to how many of its undelivered messages were discarded.
+    """
+
+    per_rank: dict[int, int]
+
+    def __new__(cls, per_rank: dict[int, int]) -> "DrainReport":
+        self = super().__new__(cls, sum(per_rank.values()))
+        self.per_rank = dict(per_rank)
+        return self
 
 
 class Communicator:
@@ -27,9 +57,17 @@ class Communicator:
         self._mailbox: list[deque[tuple[int, int, np.ndarray]]] = [
             deque() for _ in range(size)
         ]
+        # late[dst] holds (src, tag) markers: the message exists but will
+        # only arrive after the receive deadline (a straggling sender).
+        self._late: list[set[tuple[int, int]]] = [set() for _ in range(size)]
+        self._alive = [True] * size
         self.messages_sent = 0
         self.bytes_sent = 0
         self.allreduce_count = 0
+        self.pings_sent = 0
+        self.heartbeats_sent = 0
+        #: Messages addressed to a rank that was already dead.
+        self.lost_to_dead = 0
 
     def rank(self, r: int) -> "RankComm":
         if not (0 <= r < self.size):
@@ -39,20 +77,90 @@ class Communicator:
     def ranks(self) -> list["RankComm"]:
         return [self.rank(r) for r in range(self.size)]
 
+    # liveness ---------------------------------------------------------- #
+    def is_alive(self, r: int) -> bool:
+        if not (0 <= r < self.size):
+            raise ReproError(f"rank {r} outside communicator of size {self.size}")
+        return self._alive[r]
+
+    def kill(self, r: int) -> None:
+        """Fail-stop rank death: the rank stops sending and receiving.
+
+        Its mailbox is discarded (a dead rank will never collect it);
+        messages it already put on the wire stay deliverable, exactly as
+        in-flight MPI messages survive their sender.
+        """
+        if not (0 <= r < self.size):
+            raise ReproError(f"rank {r} outside communicator of size {self.size}")
+        self._alive[r] = False
+        self.lost_to_dead += len(self._mailbox[r]) + len(self._late[r])
+        self._mailbox[r].clear()
+        self._late[r].clear()
+
+    def ping(self, r: int) -> bool:
+        """One liveness probe (the per-exchange check): True iff alive."""
+        self.pings_sent += 1
+        return self.is_alive(r)
+
+    def heartbeat(self) -> tuple[int, ...]:
+        """Poll every rank once; returns the ranks that missed the beat."""
+        self.heartbeats_sent += 1
+        return tuple(r for r in range(self.size) if not self._alive[r])
+
+    def alive_ranks(self) -> tuple[int, ...]:
+        return tuple(r for r in range(self.size) if self._alive[r])
+
+    def dead_ranks(self) -> tuple[int, ...]:
+        return tuple(r for r in range(self.size) if not self._alive[r])
+
     # internal delivery ------------------------------------------------- #
     def _post(self, src: int, dst: int, tag: int, payload: np.ndarray) -> None:
         if not (0 <= dst < self.size):
             raise ReproError(f"send to invalid rank {dst}")
+        if not self._alive[src]:
+            raise CommError(f"dead rank {src} attempted to send")
+        if not self._alive[dst]:
+            # The wire to a dead rank is a black hole, not an error: the
+            # sender only learns of the death when it next waits on them.
+            self.lost_to_dead += 1
+            return
         self._mailbox[dst].append((src, tag, payload.copy()))
         self.messages_sent += 1
         self.bytes_sent += payload.nbytes
 
+    def post_late(self, src: int, dst: int, tag: int) -> None:
+        """Record a straggling send: it will miss the receive deadline.
+
+        The paired ``Recv`` raises :class:`CommTimeoutError` (instead of
+        the deadlock a lost message causes) and the marker is consumed —
+        a retried exchange re-posts the message normally.
+        """
+        if not (0 <= dst < self.size):
+            raise ReproError(f"send to invalid rank {dst}")
+        if not self._alive[dst]:
+            self.lost_to_dead += 1
+            return
+        self._late[dst].add((src, tag))
+
     def _collect(self, dst: int, src: int, tag: int) -> np.ndarray:
+        if not self._alive[src]:
+            raise CommTimeoutError(
+                f"rank {dst} timed out waiting for (src={src}, tag={tag}): "
+                f"rank {src} is dead",
+                peer=src,
+            )
         box = self._mailbox[dst]
         for i, (msg_src, msg_tag, payload) in enumerate(box):
             if msg_src == src and msg_tag == tag:
                 del box[i]
                 return payload
+        if (src, tag) in self._late[dst]:
+            self._late[dst].discard((src, tag))
+            raise CommTimeoutError(
+                f"rank {dst} timed out waiting for (src={src}, tag={tag}): "
+                f"rank {src} is straggling past the receive deadline",
+                peer=src,
+            )
         raise CommError(
             f"deadlock: rank {dst} waits for (src={src}, tag={tag}) "
             "but no matching message was sent"
@@ -62,7 +170,7 @@ class Communicator:
         """Messages waiting in a rank's mailbox (0 after a clean exchange)."""
         return len(self._mailbox[rank])
 
-    def drain(self) -> int:
+    def drain(self) -> DrainReport:
         """Discard every undelivered message; returns how many were dropped.
 
         Recovery hook: after a failed (dropped/corrupted) halo exchange the
@@ -70,19 +178,50 @@ class Communicator:
         would mis-collect them.  Draining restores the quiescent state a
         rollback expects — the in-process analogue of cancelling
         outstanding MPI requests before re-posting an exchange.
-        """
-        dropped = sum(len(box) for box in self._mailbox)
-        for box in self._mailbox:
-            box.clear()
-        return dropped
 
-    def allreduce_sum(self, partials) -> float:
-        """MPI_Allreduce(SUM) over one contribution per rank."""
-        partials = list(partials)
-        if len(partials) != self.size:
+        The return value is an ``int`` (the total) that additionally
+        carries ``per_rank``, the per-destination drop counts, so the
+        resilience report can attribute the loss.
+        """
+        per_rank: dict[int, int] = {}
+        for r, box in enumerate(self._mailbox):
+            dropped = len(box) + len(self._late[r])
+            if dropped:
+                per_rank[r] = dropped
+            box.clear()
+            self._late[r].clear()
+        return DrainReport(per_rank)
+
+    def allreduce_sum(self, partials, ranks=None) -> float:
+        """MPI_Allreduce(SUM) over one contribution per participating rank.
+
+        ``ranks`` names the contributing ranks (default: every rank).  The
+        collective fails fast — with :class:`CommTimeoutError` — when a
+        participant is dead, and with :class:`CommError` naming the
+        offending rank when a partial is non-finite, instead of silently
+        folding NaN into every rank's scalar.
+        """
+        partials = [float(p) for p in partials]
+        if ranks is None:
+            ranks = list(range(self.size))
+        else:
+            ranks = list(ranks)
+        if len(partials) != len(ranks):
             raise ReproError(
-                f"allreduce expects {self.size} partials, got {len(partials)}"
+                f"allreduce expects {len(ranks)} partials, got {len(partials)}"
             )
+        dead = [r for r in ranks if not self._alive[r]]
+        if dead:
+            raise CommTimeoutError(
+                f"allreduce timed out: dead rank(s) "
+                f"{', '.join(map(str, dead))} never contributed",
+                peer=dead[0],
+            )
+        for r, p in zip(ranks, partials):
+            if not math.isfinite(p):
+                raise CommError(
+                    f"allreduce received non-finite partial {p!r} from rank {r}"
+                )
         self.allreduce_count += 1
         return float(sum(partials))
 

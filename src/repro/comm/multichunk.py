@@ -14,6 +14,14 @@ zeroing boundary-face coefficients, but a chunk edge with a neighbour is
 coefficients on internal edges from the exchanged density halos, restoring
 the exact global operator (conservation tests verify this to the last
 bit of the solver tolerance).
+
+Rank-level fault tolerance: chunks are *logical* — ``rank_of_chunk`` maps
+each chunk to the physical communicator rank currently computing it, so a
+spare rank can adopt a dead rank's chunk without renumbering neighbours.
+Every exchange starts with a liveness check (``RankFailureError`` instead
+of a deadlock when a peer is dead), a straggler timeout drains and retries
+the exchange once, and buddy checkpointing / spare-or-shrink recovery is
+delegated to :class:`~repro.resilience.ranks.RankRecovery`.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ from repro.core.chunk import Chunk
 from repro.core.grid import Grid2D
 from repro.models.base import Port, make_port
 from repro.models.tracing import Trace
-from repro.util.errors import ModelError
+from repro.util.errors import CommTimeoutError, ModelError, RankFailureError
 
 #: Message tags: (axis, direction) -> tag base; field index is added.
 _TAGS = {
@@ -50,10 +58,20 @@ class MultiChunkPort(Port):
         nranks: int,
         model: str | list[str] = "openmp-f90",
         trace: Trace | None = None,
+        rank_policy: str = "none",
+        spare_ranks: int = 0,
     ) -> None:
         super().__init__(grid, trace)
+        if spare_ranks < 0:
+            raise ModelError(f"spare rank count must be >= 0, got {spare_ranks}")
         self.windows: list[ChunkWindow] = decompose(grid.nx, grid.ny, nranks)
-        self.world = Communicator(nranks)
+        #: Logical chunk count; physical world is nranks + spares.
+        self.nchunks = nranks
+        self.world = Communicator(nranks + spare_ranks)
+        #: chunk id -> physical communicator rank (identity until a spare
+        #: adopts a dead rank's chunk).
+        self.rank_of_chunk = list(range(nranks))
+        self.spare_pool = list(range(nranks, nranks + spare_ranks))
         self.subgrids = [
             grid.subgrid(w.x0, w.x1, w.y0, w.y1) for w in self.windows
         ]
@@ -81,12 +99,89 @@ class MultiChunkPort(Port):
         self._dt = 0.0
         self._coefficient = "conductivity"
         #: Optional resilience FaultPlan; when set, outgoing halo messages
-        #: may be dropped or corrupted (see :meth:`attach_fault_plan`).
+        #: may be dropped, delayed or corrupted (see :meth:`attach_fault_plan`).
         self.fault_plan = None
+        #: Optional ResilienceManager (for event records on retried
+        #: exchanges); set by :meth:`attach_resilience`.
+        self._manager = None
+        # Imported lazily: repro.resilience pulls in the solver stack,
+        # which the comm layer must not depend on at import time.
+        from repro.resilience.ranks import RankRecovery
+
+        self.rank_policy = rank_policy
+        self.recovery = RankRecovery(self, rank_policy, self.spare_pool)
 
     def attach_fault_plan(self, plan) -> None:
         """Let a resilience ``FaultPlan`` interpose on halo messages."""
         self.fault_plan = plan
+
+    def attach_resilience(self, manager) -> None:
+        """Wire a ResilienceManager in: fault plan + exchange event log."""
+        self._manager = manager
+        self.fault_plan = manager.plan
+
+    # ------------------------------------------------------------------ #
+    # rank liveness and recovery
+    # ------------------------------------------------------------------ #
+    def chunk_alive(self, chunk: int) -> bool:
+        return self.world.is_alive(self.rank_of_chunk[chunk])
+
+    def dead_chunks(self) -> tuple[int, ...]:
+        """Chunks whose current physical rank is fail-stop dead."""
+        return tuple(
+            c for c in range(self.nchunks) if not self.chunk_alive(c)
+        )
+
+    def _check_ranks(self) -> None:
+        """Liveness probe before an exchange: fail fast, not deadlock."""
+        dead = tuple(
+            c
+            for c in range(self.nchunks)
+            if not self.world.ping(self.rank_of_chunk[c])
+        )
+        if dead:
+            dead_ranks = tuple(self.rank_of_chunk[c] for c in dead)
+            raise RankFailureError(
+                f"halo exchange aborted: rank(s) "
+                f"{', '.join(map(str, dead_ranks))} "
+                f"(chunk(s) {', '.join(map(str, dead))}) are dead",
+                dead_ranks=dead_ranks,
+            )
+
+    def kill_rank(self, chunk: int) -> int:
+        """Fail-stop the physical rank computing ``chunk``; returns it."""
+        rank = self.rank_of_chunk[chunk]
+        self.world.kill(rank)
+        return rank
+
+    def capture_rank_checkpoints(self, iteration: int, step: int) -> int:
+        """Buddy-checkpoint every chunk (no-op when rank_policy=none)."""
+        return self.recovery.capture(iteration, step)
+
+    def recover_ranks(self) -> list[str]:
+        """Repair dead chunks per the configured policy; returns details."""
+        return self.recovery.recover()
+
+    def _rebuild(self, nchunks: int, models: list[str]) -> None:
+        """Re-decompose over ``nchunks`` fresh ranks (shrink recovery)."""
+        self.windows = decompose(self.grid.nx, self.grid.ny, nchunks)
+        self.nchunks = nchunks
+        self.world = Communicator(nchunks)
+        self.rank_of_chunk = list(range(nchunks))
+        self.spare_pool = []
+        self.subgrids = [
+            self.grid.subgrid(w.x0, w.x1, w.y0, w.y1) for w in self.windows
+        ]
+        self.models = models
+        self.model_name = (
+            f"{models[0]}+mpi({nchunks})"
+            if len(set(models)) == 1
+            else f"heterogeneous({','.join(models)})"
+        )
+        self.ports = [
+            make_port(m, sg, self.trace)
+            for m, sg in zip(models, self.subgrids)
+        ]
 
     # ------------------------------------------------------------------ #
     # data interface
@@ -144,9 +239,31 @@ class MultiChunkPort(Port):
     # halo exchange
     # ------------------------------------------------------------------ #
     def update_halo(self, names, depth: int) -> None:
+        self._check_ranks()
         for name in names:
-            self._exchange_axis(name, depth, Side.LEFT, Side.RIGHT)
-            self._exchange_axis(name, depth, Side.DOWN, Side.UP)
+            for lo, hi in ((Side.LEFT, Side.RIGHT), (Side.DOWN, Side.UP)):
+                try:
+                    self._exchange_axis(name, depth, lo, hi)
+                except CommTimeoutError as exc:
+                    # A dead peer is a rank failure (recovery needs a
+                    # policy); a straggler just needs the axis drained
+                    # and retried — re-packing is idempotent.
+                    self._check_ranks()
+                    dropped = self.world.drain()
+                    if self._manager is not None:
+                        self._manager.record(
+                            "detect",
+                            f"halo exchange of {name} timed out ({exc}); "
+                            f"drained {int(dropped)} message(s) "
+                            f"{dict(dropped.per_rank)}",
+                        )
+                    self._exchange_axis(name, depth, lo, hi)
+                    if self._manager is not None:
+                        self._manager.record(
+                            "retry",
+                            f"halo exchange of {name} retried after a "
+                            "straggler timeout",
+                        )
 
     def _neighbour(self, window: ChunkWindow, side: Side) -> int | None:
         return {
@@ -163,29 +280,39 @@ class MultiChunkPort(Port):
         # Post sends (pack kernels).
         for window, port in zip(self.windows, self.ports):
             arr = port._device_array(name)
-            comm = self.world.rank(window.rank)
+            src = self.rank_of_chunk[window.rank]
+            comm = self.world.rank(src)
             for side in (lo, hi):
                 nbr = self._neighbour(window, side)
                 if nbr is None:
                     continue
+                dst = self.rank_of_chunk[nbr]
+                tag = _TAGS[side] + field_tag
                 buffer = pack_edge(arr, h, depth, side)
                 port._launch("halo_pack", cells=buffer.size)
-                if self.fault_plan is not None and not self.fault_plan.deliver_halo(
-                    name, buffer
-                ):
-                    continue  # message lost on the wire: receiver deadlocks
-                comm.Send(buffer, dest=nbr, tag=_TAGS[side] + field_tag)
+                if self.fault_plan is not None:
+                    verdict = self.fault_plan.halo_verdict(name, buffer)
+                    if verdict == "drop":
+                        continue  # lost on the wire: receiver deadlocks
+                    if verdict == "delay":
+                        # Straggler: the receive will miss its deadline.
+                        self.world.post_late(src, dst, tag)
+                        continue
+                comm.Send(buffer, dest=dst, tag=tag)
         # Receive and unpack (or reflect at the physical boundary).
         for window, port in zip(self.windows, self.ports):
             arr = port._device_array(name)
-            comm = self.world.rank(window.rank)
+            comm = self.world.rank(self.rank_of_chunk[window.rank])
             for side, opposite in ((lo, hi), (hi, lo)):
                 nbr = self._neighbour(window, side)
                 if nbr is None:
                     reflect_side(arr, h, depth, side)
                     port._launch("halo_update", cells=depth * max(arr.shape))
                 else:
-                    buffer = comm.Recv(source=nbr, tag=_TAGS[opposite] + field_tag)
+                    buffer = comm.Recv(
+                        source=self.rank_of_chunk[nbr],
+                        tag=_TAGS[opposite] + field_tag,
+                    )
                     unpack_edge(arr, h, depth, side, buffer)
                     port._launch("halo_unpack", cells=buffer.size)
 
@@ -197,8 +324,9 @@ class MultiChunkPort(Port):
             getattr(port, method)(*args)
 
     def _allreduce(self, method: str, *args) -> float:
+        self._check_ranks()
         partials = [getattr(port, method)(*args) for port in self.ports]
-        return self.world.allreduce_sum(partials)
+        return self.world.allreduce_sum(partials, ranks=self.rank_of_chunk)
 
     def set_field(self) -> None:
         self._all("set_field")
@@ -290,10 +418,13 @@ class MultiChunkPort(Port):
         self._all("tea_leaf_finalise")
 
     def field_summary(self) -> tuple[float, float, float, float]:
+        self._check_ranks()
         partials = [port.field_summary() for port in self.ports]
         totals = []
         for component in range(4):
             totals.append(
-                self.world.allreduce_sum([p[component] for p in partials])
+                self.world.allreduce_sum(
+                    [p[component] for p in partials], ranks=self.rank_of_chunk
+                )
             )
         return tuple(totals)  # type: ignore[return-value]

@@ -100,6 +100,15 @@ class Deck:
     tl_divergence_window: int = 4
     #: Relative tolerance for the energy-conservation ABFT check.
     tl_abft_tolerance: float = 1e-4
+    #: Recovery policy for fail-stop rank death in a decomposed run:
+    #: "none" (fatal), "spare" (a reserve rank adopts the dead chunk from
+    #: its buddy checkpoint), or "shrink" (re-decompose over survivors).
+    tl_rank_policy: str = "none"
+    #: Reserve ranks held out of the decomposition for the spare policy.
+    tl_spare_ranks: int = 0
+    #: Solver iterations between ensemble liveness polls (0 = disabled;
+    #: exchanges still fail fast on a dead peer).
+    tl_heartbeat_interval: int = 10
     states: tuple[State, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -140,6 +149,15 @@ class Deck:
             raise DeckError("tl_divergence_window must be at least 2")
         if not (0 < self.tl_abft_tolerance < 1):
             raise DeckError("tl_abft_tolerance must be in (0, 1)")
+        if self.tl_rank_policy not in ("none", "spare", "shrink"):
+            raise DeckError(
+                f"unknown rank policy '{self.tl_rank_policy}' "
+                "(expected none, spare or shrink)"
+            )
+        if self.tl_spare_ranks < 0:
+            raise DeckError("tl_spare_ranks must be non-negative")
+        if self.tl_heartbeat_interval < 0:
+            raise DeckError("tl_heartbeat_interval must be non-negative")
         if self.tl_inject:
             # Validate the fault specs at deck time so a bad --inject or
             # tl_inject line fails before any solve starts.  Imported
@@ -232,6 +250,8 @@ _INT_KEYS = {
     "tl_checkpoint_frequency",
     "tl_max_retries",
     "tl_divergence_window",
+    "tl_spare_ranks",
+    "tl_heartbeat_interval",
 }
 _FLOAT_KEYS = {
     "xmin",
@@ -303,6 +323,8 @@ def parse_deck(text: str) -> Deck:
             values["tl_preconditioner_type"] = value.lower()
         elif key == "tl_inject":
             values["tl_inject"] = value.lower()
+        elif key == "tl_rank_policy":
+            values["tl_rank_policy"] = value.lower()
         elif key in _INT_KEYS:
             try:
                 values[key] = int(value)

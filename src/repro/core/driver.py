@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.solvers import Solver, SolveResult, make_solver
 from repro.core.state import generate_chunk
-from repro.util.errors import CorruptionError
+from repro.util.errors import CorruptionError, RankFailureError
 from repro.util.timing import TimerRegistry
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
@@ -56,7 +56,8 @@ class StepResult:
     solve: SolveResult
     wall_seconds: float
     summary: FieldSummary | None = None
-    #: Whole-step retries forced by the ABFT energy check (resilience only).
+    #: Whole-step retries forced by the ABFT energy check or by a
+    #: step-level rank repair (resilience only).
     retries: int = 0
 
 
@@ -135,9 +136,15 @@ class TeaLeaf:
             from repro.resilience import ResilientSolver
 
             self.solver = ResilientSolver(self.solver, self.resilience)
-            attach = getattr(self.port, "attach_fault_plan", None)
-            if attach is not None:  # decomposed ports take comm-level faults
-                attach(self.resilience.plan)
+            # Decomposed ports take comm-level faults and report retried
+            # exchanges; older ports may only accept the fault plan.
+            attach = getattr(self.port, "attach_resilience", None)
+            if attach is not None:
+                attach(self.resilience)
+            else:
+                attach = getattr(self.port, "attach_fault_plan", None)
+                if attach is not None:
+                    attach(self.resilience.plan)
 
         density, energy0 = generate_chunk(list(deck.states), self.grid)
         with self.trace.section("init"):
@@ -163,43 +170,60 @@ class TeaLeaf:
             manager.current_step = self.step_count
 
         retries = 0
-        while True:
-            with self.timers["solve"], self.trace.section("solve"), self.trace.section(
-                self.deck.solver
-            ):
-                self.port.set_field()
-                self.port.begin_solve()
-                self.port.tea_leaf_init(dt, self.deck.tl_coefficient)
-                self.port.update_halo((F.U,), depth=self.grid.halo)
-                solve = self.solver.solve(self.port, self.deck)
-                self.port.tea_leaf_finalise()
-                self.port.end_solve()
-            if manager is None:
-                break
-            violation = manager.abft_check(self.port, self._abft_expected)
-            if violation is None:
-                break
-            retries += 1
-            if retries > self.deck.tl_max_retries:
-                raise CorruptionError(
-                    f"ABFT energy check still failing after {retries - 1} "
-                    f"step retries: {violation}"
-                )
-            # set_field re-derives energy1 from the untouched energy0, so
-            # re-running the pipeline from the top is a clean step retry.
-            manager.retry_backoff(retries)
-
-        self.sim_time += dt
-        wall = time.perf_counter() - t0
-
         summary = None
         want_summary = (
             self.step_count % self.deck.summary_frequency == 0
             or self.step_count == self.deck.end_step
         )
-        if want_summary:
-            with self.timers["summary"], self.trace.section("summary"):
-                summary = FieldSummary(*self.port.field_summary())
+        while True:
+            try:
+                with self.timers["solve"], self.trace.section(
+                    "solve"
+                ), self.trace.section(self.deck.solver):
+                    self.port.set_field()
+                    self.port.begin_solve()
+                    self.port.tea_leaf_init(dt, self.deck.tl_coefficient)
+                    self.port.update_halo((F.U,), depth=self.grid.halo)
+                    solve = self.solver.solve(self.port, self.deck)
+                    self.port.tea_leaf_finalise()
+                    self.port.end_solve()
+                if manager is not None:
+                    violation = manager.abft_check(self.port, self._abft_expected)
+                    if violation is not None:
+                        retries += 1
+                        if retries > self.deck.tl_max_retries:
+                            raise CorruptionError(
+                                f"ABFT energy check still failing after "
+                                f"{retries - 1} step retries: {violation}"
+                            )
+                        # set_field re-derives energy1 from the untouched
+                        # energy0, so re-running the pipeline from the top
+                        # is a clean step retry.
+                        manager.retry_backoff(retries)
+                        continue
+                if want_summary:
+                    with self.timers["summary"], self.trace.section("summary"):
+                        summary = FieldSummary(*self.port.field_summary())
+                break
+            except RankFailureError as exc:
+                # A rank died outside the solver's own recovery window
+                # (e.g. during finalise or the summary reduction): repair
+                # the ensemble and redo the whole step — the buddy restore
+                # rolled the fields back, so the pipeline re-derives a
+                # consistent state from the top.
+                if manager is None:
+                    raise
+                retries += 1
+                if retries > self.deck.tl_max_retries:
+                    raise
+                manager.record("detect", f"step-level rank failure: {exc}")
+                manager.drain_comm(self.port)
+                if not manager.repair_ranks(self.port):
+                    raise
+                manager.retry_backoff(retries)
+
+        self.sim_time += dt
+        wall = time.perf_counter() - t0
 
         if (
             self.deck.visit_frequency

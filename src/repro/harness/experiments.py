@@ -463,6 +463,139 @@ def fig12(quick: bool = True) -> ExperimentResult:
 
 
 #: Experiment registry: id -> callable(quick) -> ExperimentResult.
+# --------------------------------------------------------------------- #
+# Rank-level fault tolerance overhead (extension experiment)
+# --------------------------------------------------------------------- #
+def rank_resilience(quick: bool = True) -> ExperimentResult:
+    """Solve-time overhead of the rank-recovery policies vs. fault free.
+
+    Runs the benchmark problem on a 4-rank decomposed ensemble four ways:
+    fault free, fault free with buddy checkpointing enabled (the pure
+    protocol overhead), and with a rank killed mid-solve under each
+    recovery policy (``spare`` and ``shrink``).  Checks are on physics and
+    on the recovery event record, never on wall time — timing feeds the
+    overhead table in ``docs/resilience.md`` but is machine dependent.
+    """
+    import dataclasses
+
+    from repro.comm.multichunk import MultiChunkPort
+    from repro.core.driver import TeaLeaf
+
+    n, steps, nranks, eps = (48, 2, 4, 1e-10) if quick else (128, 4, 4, 1e-10)
+    base_deck = default_deck(n=n, end_step=steps, eps=eps)
+    kill = f"kill:1:{12 if quick else 30}"
+
+    def run(label: str, **overrides):
+        deck = (
+            dataclasses.replace(base_deck, **overrides)
+            if overrides
+            else base_deck
+        )
+        port = MultiChunkPort(
+            deck.grid(),
+            nranks,
+            rank_policy=deck.tl_rank_policy,
+            spare_ranks=deck.tl_spare_ranks,
+        )
+        result = TeaLeaf(deck, port=port).run()
+        return label, port, result
+
+    runs = [
+        run("fault-free"),
+        run("buddy-ckpt (no fault)", tl_resilient=True, tl_rank_policy="spare",
+            tl_spare_ranks=1),
+        run("spare", tl_inject=kill, tl_rank_policy="spare", tl_spare_ranks=1,
+            tl_resilient=True),
+        run("shrink", tl_inject=kill, tl_rank_policy="shrink",
+            tl_resilient=True),
+    ]
+    baseline = runs[0][2]
+    base_temp = baseline.final_summary.temperature
+    # Shrink re-decomposes, so reductions re-associate: allow an
+    # eps-scaled drift on top of float noise.
+    tolerance = max(eps * abs(base_temp), 1e-10)
+
+    headers = ["Configuration", "Ranks", "Solve s", "Overhead", "Final temp"]
+    rows = []
+    checks: list[Check] = []
+    for label, port, result in runs:
+        wall = sum(s.wall_seconds for s in result.steps)
+        overhead = wall / max(sum(
+            s.wall_seconds for s in baseline.steps), 1e-12) - 1.0
+        temp = result.final_summary.temperature
+        rows.append([
+            label,
+            str(port.nchunks),
+            f"{wall:.3f}",
+            "-" if label == "fault-free" else f"{overhead:+.1%}",
+            f"{temp:.9e}",
+        ])
+        checks.append(
+            Check(
+                name=f"rank_resilience:{label}/energy",
+                passed=abs(temp - base_temp) <= tolerance,
+                detail=f"|{temp:.9e} - {base_temp:.9e}| <= {tolerance:.1e}",
+            )
+        )
+        checks.append(
+            Check(
+                name=f"rank_resilience:{label}/mailboxes-drained",
+                passed=all(
+                    port.world.pending(r) == 0 for r in range(port.world.size)
+                ),
+                detail="pending()==0 on every rank after the run",
+            )
+        )
+    for label, _, result in runs[2:]:
+        rep = result.resilience
+        recovered = (
+            rep is not None
+            and rep.rank_deaths >= 1
+            and rep.rank_recoveries >= 1
+            and any(
+                "buddy restore" in e.detail and f"policy={label}" in e.detail
+                for e in rep.events
+                if e.kind == "rank_recovery"
+            )
+        )
+        checks.append(
+            Check(
+                name=f"rank_resilience:{label}/recovery-recorded",
+                passed=recovered,
+                detail="report records the death, buddy restore and policy",
+            )
+        )
+    no_fault_rep = runs[1][2].resilience
+    checks.append(
+        Check(
+            name="rank_resilience:no-fault/quiet",
+            passed=no_fault_rep is not None
+            and no_fault_rep.rank_deaths == 0
+            and no_fault_rep.recoveries == 0,
+            detail="buddy checkpointing alone causes no recovery events",
+        )
+    )
+    return ExperimentResult(
+        experiment_id="rank_resilience",
+        title="Rank-failure recovery overhead (spare vs shrink)",
+        description=(
+            "Solve-time overhead of buddy checkpointing and the two "
+            "ULFM-style recovery policies on a 4-rank ensemble with a "
+            "rank killed mid-solve."
+        ),
+        rendered=report.render_table(headers, rows),
+        checks=checks,
+        data={
+            "rows": rows,
+            "summaries": {
+                label: result.resilience.summary()
+                for label, _, result in runs
+                if result.resilience is not None
+            },
+        },
+    )
+
+
 EXPERIMENTS = {
     "table1": table1,
     "table2": table2,
@@ -471,4 +604,5 @@ EXPERIMENTS = {
     "fig10": fig10,
     "fig11": fig11,
     "fig12": fig12,
+    "rank_resilience": rank_resilience,
 }

@@ -13,7 +13,10 @@ Three pillars (see ``docs/resilience.md``):
   and an energy-conservation ABFT check between steps;
 * **recovery** — periodic in-memory checkpoints with rollback-and-retry,
   bounded retries with exponential backoff, and graceful degradation of
-  Chebyshev/PPCG to plain CG.
+  Chebyshev/PPCG to plain CG;
+* **rank-level fault tolerance** (:mod:`repro.resilience.ranks`) —
+  fail-stop rank death and straggler injection for decomposed runs, buddy
+  checkpointing, and ULFM-style ``spare``/``shrink`` recovery policies.
 
 Because all of it drives the :class:`~repro.models.base.Port` interface,
 every programming-model port — and the decomposed MPI+X ensemble —
@@ -31,6 +34,8 @@ from repro.resilience.events import (
     DEGRADE,
     DETECT,
     INJECT,
+    RANK_DEATH,
+    RANK_RECOVERY,
     RETRY,
     ROLLBACK,
     ResilienceEvent,
@@ -38,6 +43,14 @@ from repro.resilience.events import (
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, parse_injections
 from repro.resilience.guard import GuardedPort
+from repro.resilience.ranks import (
+    RANK_POLICIES,
+    SNAPSHOT_FIELDS,
+    BuddyStore,
+    ChunkSnapshot,
+    RankRecovery,
+    assemble_global,
+)
 from repro.resilience.recovery import (
     RECOVERABLE_ERRORS,
     ResilienceConfig,
@@ -57,8 +70,16 @@ __all__ = [
     "ROLLBACK",
     "RETRY",
     "DEGRADE",
+    "RANK_DEATH",
+    "RANK_RECOVERY",
     "ResilienceEvent",
     "ResilienceReport",
+    "RANK_POLICIES",
+    "SNAPSHOT_FIELDS",
+    "BuddyStore",
+    "ChunkSnapshot",
+    "RankRecovery",
+    "assemble_global",
     "FaultPlan",
     "FaultSpec",
     "parse_injections",

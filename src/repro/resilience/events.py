@@ -17,8 +17,10 @@ DETECT = "detect"
 ROLLBACK = "rollback"
 RETRY = "retry"
 DEGRADE = "degrade"
+RANK_DEATH = "rank_death"
+RANK_RECOVERY = "rank_recovery"
 
-_KINDS = (INJECT, DETECT, ROLLBACK, RETRY, DEGRADE)
+_KINDS = (INJECT, DETECT, ROLLBACK, RETRY, DEGRADE, RANK_DEATH, RANK_RECOVERY)
 
 
 @dataclass(frozen=True)
@@ -69,9 +71,17 @@ class ResilienceReport:
         return self.count(RETRY)
 
     @property
+    def rank_deaths(self) -> int:
+        return self.count(RANK_DEATH)
+
+    @property
+    def rank_recoveries(self) -> int:
+        return self.count(RANK_RECOVERY)
+
+    @property
     def recoveries(self) -> int:
-        """Recovery actions taken (rollbacks plus solver degradations)."""
-        return self.rollbacks + self.degradations
+        """Recovery actions taken (rollbacks, degradations, rank repairs)."""
+        return self.rollbacks + self.degradations + self.rank_recoveries
 
     @property
     def total_backoff_seconds(self) -> float:
@@ -85,5 +95,7 @@ class ResilienceReport:
             f"rollbacks={self.rollbacks} degradations={self.degradations} "
             f"retries={self.retries} wasted_iterations={self.wasted_iterations} "
             f"checkpoints={self.checkpoints_taken} "
-            f"backoff={self.total_backoff_seconds:.3f}s"
+            f"backoff={self.total_backoff_seconds:.3f}s "
+            f"rank_deaths={self.rank_deaths} "
+            f"rank_recoveries={self.rank_recoveries}"
         )

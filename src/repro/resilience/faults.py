@@ -25,6 +25,15 @@ form ``kind:target:n``:
     Scale the first Chebyshev/PPCG eigenvalue estimate's ``eigen_max``
     down by a seeded factor, so the Chebyshev interval no longer covers
     the spectrum and the semi-iteration diverges.
+``kill:1:3``
+    Fail-stop rank 1 at global solver iteration 3: the rank's mailbox is
+    purged and every later exchange or collective involving it times out
+    (:class:`~repro.util.errors.CommTimeoutError`).  Recovery needs a
+    ``tl_rank_policy`` (see :mod:`repro.resilience.ranks`).
+``delay:p:3``
+    Make the third halo-exchange send of ``p`` a *straggler*: the paired
+    receive misses its deadline and raises ``CommTimeoutError``, but the
+    sender is alive, so a drained retry of the exchange succeeds.
 
 Every random choice (cell index, bit position, scale factor) comes from a
 ``random.Random`` seeded per spec from the plan seed, so a plan replays
@@ -56,6 +65,8 @@ KINDS = {
     "drop": "field",
     "corrupt": "field",
     "eigen": "eigen bound (min or max)",
+    "kill": "rank",
+    "delay": "field",
 }
 
 
@@ -95,6 +106,11 @@ class FaultSpec:
             raise ValueError(
                 f"eigen fault target must be 'min' or 'max', got '{target}'"
             )
+        if kind == "kill":
+            if not target.isdigit():
+                raise ValueError(
+                    f"kill fault target must be a rank id, got '{target}'"
+                )
         return cls(kind=kind, target=target, at=at)
 
     def render(self) -> str:
@@ -194,21 +210,59 @@ class FaultPlan:
                 self._fire(i, detail)
                 raise FaultInjectionError(f"injected fault: {detail}")
 
-    def deliver_halo(self, field_name: str, buffer: np.ndarray) -> bool:
-        """Count a halo send; returns False to drop it, may corrupt it."""
+    def rank_kills_due(self, iteration: int) -> list[tuple[int, FaultSpec]]:
+        """kill specs whose trigger iteration has been reached."""
+        due = []
+        for i, spec in enumerate(self.specs):
+            if (
+                spec.kind == "kill"
+                and not self._fired[i]
+                and iteration >= spec.at
+            ):
+                due.append((i, spec))
+        return due
+
+    def apply_rank_kill(self, index: int) -> tuple[int, str]:
+        """Fire a kill spec; returns (rank, detail)."""
+        spec = self.specs[index]
+        rank = int(spec.target)
+        detail = f"rank {rank} fail-stopped at iteration trigger {spec.at}"
+        self._fire(index, detail)
+        return rank, detail
+
+    def halo_verdict(self, field_name: str, buffer: np.ndarray) -> str:
+        """Count a halo send; returns 'deliver', 'drop' or 'delay'.
+
+        This is the single counter for all message-level fault kinds: a
+        ``drop`` spec loses the message outright (receiver deadlocks), a
+        ``delay`` spec turns it into a straggler (receiver times out but a
+        retry succeeds), and a ``corrupt`` spec delivers it NaN-filled.
+        """
         self._halo_sends[field_name] += 1
         sends = self._halo_sends[field_name]
         for i, spec in self._due("drop", lambda s: s.target == field_name):
             if sends >= spec.at:
                 self._fire(i, f"halo message {sends} of {field_name} dropped")
-                return False
+                return "drop"
+        for i, spec in self._due("delay", lambda s: s.target == field_name):
+            if sends >= spec.at:
+                self._fire(
+                    i,
+                    f"halo message {sends} of {field_name} delayed past "
+                    "the receive deadline",
+                )
+                return "delay"
         for i, spec in self._due("corrupt", lambda s: s.target == field_name):
             if sends >= spec.at:
                 buffer[...] = np.nan
                 self._fire(
                     i, f"halo message {sends} of {field_name} corrupted to NaN"
                 )
-        return True
+        return "deliver"
+
+    def deliver_halo(self, field_name: str, buffer: np.ndarray) -> bool:
+        """Back-compat wrapper over :meth:`halo_verdict` (False == drop)."""
+        return self.halo_verdict(field_name, buffer) != "drop"
 
     def filter_eigen_estimate(self, estimate: "EigenEstimate") -> "EigenEstimate":
         """Count an eigenvalue estimate; corrupt it if an eigen spec is due."""

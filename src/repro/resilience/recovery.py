@@ -41,6 +41,8 @@ from repro.resilience.events import (
     DEGRADE,
     DETECT,
     INJECT,
+    RANK_DEATH,
+    RANK_RECOVERY,
     RETRY,
     ROLLBACK,
     ResilienceEvent,
@@ -54,6 +56,7 @@ from repro.util.errors import (
     CorruptionError,
     DivergenceError,
     FaultInjectionError,
+    RankFailureError,
 )
 
 #: Failures the recovery layer will roll back and retry on.
@@ -82,6 +85,8 @@ class ResilienceConfig:
     #: Relative drift of total internal energy tolerated by the ABFT check.
     abft_tolerance: float = 1e-4
     backoff_base_seconds: float = 0.002
+    #: Solver iterations between liveness polls of the whole ensemble.
+    heartbeat_interval: int = 10
 
     @classmethod
     def from_deck(cls, deck: Deck) -> "ResilienceConfig":
@@ -92,15 +97,19 @@ class ResilienceConfig:
             max_retries=deck.tl_max_retries,
             divergence_window=deck.tl_divergence_window,
             abft_tolerance=deck.tl_abft_tolerance,
+            heartbeat_interval=deck.tl_heartbeat_interval,
         )
 
 
 class ResilienceManager:
     """Shared state of one resilient run: plan, detectors, checkpoints, log."""
 
-    def __init__(self, config: ResilienceConfig, trace=None) -> None:
+    def __init__(self, config: ResilienceConfig, trace=None, sleep=None) -> None:
         self.config = config
         self.trace = trace
+        #: Injectable sleep so tests assert the backoff *schedule* instead
+        #: of measuring wall time (defaults to the real clock).
+        self._sleep = time.sleep if sleep is None else sleep
         self.plan = FaultPlan(
             config.injections, seed=config.seed, on_fire=self._on_injection
         )
@@ -163,9 +172,72 @@ class ResilienceManager:
                 arr = port.read_field(spec.target)
                 self.plan.apply_field_fault(index, arr, port.h)
                 port.write_field(spec.target, arr)
-        if self.checkpoints.due(self.iteration):
-            self.checkpoints.capture_periodic(port, self.iteration)
-            self.report.checkpoints_taken = self.checkpoints.taken
+            for index, spec in self.plan.rank_kills_due(self.iteration):
+                self._fire_rank_kill(port, index)
+        dead = self._dead_chunks(port)
+        if not dead:
+            # Buddy checkpoints and global checkpoints share one cadence,
+            # so both cut the run at the same consistent iteration.
+            if self.checkpoints.due(self.iteration):
+                self._buddy_capture(port)
+                self.checkpoints.capture_periodic(port, self.iteration)
+                self.report.checkpoints_taken = self.checkpoints.taken
+        if (
+            self.config.heartbeat_interval > 0
+            and self.iteration % self.config.heartbeat_interval == 0
+        ):
+            self.heartbeat(port)
+
+    def _dead_chunks(self, port) -> tuple[int, ...]:
+        dead = getattr(port, "dead_chunks", None)
+        return dead() if dead is not None else ()
+
+    def _fire_rank_kill(self, port, index: int) -> None:
+        """Consume a kill spec; only a decomposed ensemble can die."""
+        chunk = int(self.plan.specs[index].target)
+        kill = getattr(port, "kill_rank", None)
+        if kill is None:
+            self.plan.apply_rank_kill(index)
+            self.record(
+                RANK_DEATH,
+                f"kill of rank {chunk} ignored: not a decomposed ensemble",
+            )
+            return
+        if chunk >= port.nchunks:
+            self.plan.apply_rank_kill(index)
+            self.record(
+                RANK_DEATH,
+                f"kill of rank {chunk} ignored: only "
+                f"{port.nchunks} chunks in the decomposition",
+            )
+            return
+        self.plan.apply_rank_kill(index)
+        rank = kill(chunk)
+        self.record(
+            RANK_DEATH,
+            f"rank {rank} (chunk {chunk}) fail-stopped",
+        )
+
+    def _buddy_capture(self, port) -> None:
+        capture = getattr(port, "capture_rank_checkpoints", None)
+        if capture is not None:
+            capture(self.iteration, self.current_step)
+
+    def heartbeat(self, port) -> None:
+        """Poll ensemble liveness between exchanges; raise on a miss."""
+        world = getattr(port, "world", None)
+        if world is None:
+            return
+        world.heartbeat()
+        dead = self._dead_chunks(port)
+        if dead:
+            dead_ranks = tuple(port.rank_of_chunk[c] for c in dead)
+            raise RankFailureError(
+                f"heartbeat missed by rank(s) "
+                f"{', '.join(map(str, dead_ranks))} "
+                f"(chunk(s) {', '.join(map(str, dead))})",
+                dead_ranks=dead_ranks,
+            )
 
     def eigen_filter(self, estimate):
         if not self.plan:
@@ -177,6 +249,7 @@ class ResilienceManager:
     # ------------------------------------------------------------------ #
     def begin_solve(self, port) -> None:
         self.monitor.reset()
+        self._buddy_capture(port)
         self.checkpoints.capture_anchor(port, self.iteration)
         self.report.checkpoints_taken = self.checkpoints.taken
 
@@ -201,14 +274,52 @@ class ResilienceManager:
         if world is not None:
             dropped = world.drain()
             if dropped:
+                per_rank = ", ".join(
+                    f"rank {r}: {n}"
+                    for r, n in sorted(dropped.per_rank.items())
+                )
                 self.record(
-                    DETECT, f"drained {dropped} undelivered halo message(s)"
+                    DETECT,
+                    f"drained {int(dropped)} undelivered halo message(s) "
+                    f"({per_rank})",
                 )
 
+    def repair_ranks(self, port) -> bool:
+        """Recover dead chunks via the port's rank policy, if it has one.
+
+        Returns False when the port has no rank-recovery machinery (a
+        single-chunk run) or nothing is dead; raises
+        :class:`RankFailureError` when the configured policy cannot repair
+        the ensemble.  On success the whole ensemble has been rolled back
+        to the buddy-snapshot cut, so the caller must *not* also restore a
+        global checkpoint on top.
+        """
+        recover = getattr(port, "recover_ranks", None)
+        if recover is None:
+            return False
+        dead = port.dead_chunks()
+        if not dead:
+            return False
+        for chunk in dead:
+            self.record(
+                DETECT,
+                f"chunk {chunk} lost: rank {port.rank_of_chunk[chunk]} "
+                "is fail-stop dead",
+            )
+        for detail in recover():
+            self.record(
+                RANK_RECOVERY, f"policy={port.rank_policy}: {detail}"
+            )
+        return True
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """The exponential backoff schedule (pure; asserted by tests)."""
+        return self.config.backoff_base_seconds * (2 ** (attempt - 1))
+
     def retry_backoff(self, attempt: int) -> None:
-        seconds = self.config.backoff_base_seconds * (2 ** (attempt - 1))
+        seconds = self.backoff_seconds(attempt)
         if seconds > 0:
-            time.sleep(seconds)
+            self._sleep(seconds)
         self.record(
             RETRY, f"retry attempt {attempt}", backoff_seconds=seconds
         )
@@ -257,6 +368,16 @@ class ResilientSolver(Solver):
                 if attempt > m.config.max_retries:
                     raise
                 m.drain_comm(port)
+                if isinstance(exc, RankFailureError) or m._dead_chunks(port):
+                    # Hard fault: repair the ensemble (spare adoption or
+                    # shrink) — that already rolled every chunk back to
+                    # the buddy-snapshot cut, so skip the global rollback.
+                    if not m.repair_ranks(port):
+                        raise
+                    m.retry_backoff(attempt)
+                    m.monitor.reset()
+                    attempt_start = m.iteration
+                    continue
                 degrade = isinstance(solver, (ChebyshevSolver, PPCGSolver))
                 # Divergence and exhausted budgets restart from the anchor:
                 # mid-flight snapshots of a sick solve are not worth

@@ -88,6 +88,43 @@ class CommError(ReproError):
     """
 
 
+class CommTimeoutError(CommError):
+    """A receive deadline expired instead of deadlocking silently.
+
+    Raised when a rank waits on a peer that is dead (fail-stop) or
+    straggling (its message will arrive after the deadline).  Carries the
+    peer so recovery code can tell a slow rank from a lost one.
+
+    Attributes
+    ----------
+    peer:
+        Rank the receiver was waiting on, or ``None`` for collectives.
+    """
+
+    def __init__(self, message: str, *, peer: int | None = None):
+        super().__init__(message)
+        self.peer = peer
+
+
+class RankFailureError(CommError):
+    """One or more ranks of a decomposed ensemble are fail-stop dead.
+
+    Raised by the liveness checks around halo exchanges and collectives.
+    The resilience layer catches it and, when a ``tl_rank_policy`` is
+    configured, repairs the ensemble (spare adoption or shrinking
+    re-decomposition) from buddy checkpoints before retrying.
+
+    Attributes
+    ----------
+    dead_ranks:
+        Communicator rank ids observed dead when the error was raised.
+    """
+
+    def __init__(self, message: str, *, dead_ranks: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.dead_ranks = tuple(dead_ranks)
+
+
 class ModelError(ReproError):
     """A programming-model emulation was used incorrectly.
 

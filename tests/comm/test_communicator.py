@@ -78,3 +78,24 @@ class TestCollectives:
     def test_size_validation(self):
         with pytest.raises(ReproError):
             Communicator(0)
+
+
+class TestDrain:
+    def test_drain_total_is_a_plain_int(self):
+        world = Communicator(2)
+        world.rank(0).Send(np.zeros(1), dest=1)
+        dropped = world.drain()
+        assert dropped == 1
+        assert dropped + 1 == 2  # arithmetic like the int it replaces
+        assert world.pending(1) == 0
+
+    def test_drain_breakdown_attributes_the_loss(self):
+        world = Communicator(3)
+        world.rank(0).Send(np.zeros(1), dest=1)
+        world.rank(0).Send(np.zeros(1), dest=2)
+        world.rank(1).Send(np.zeros(1), dest=2)
+        assert world.drain().per_rank == {1: 1, 2: 2}
+
+    def test_empty_drain(self):
+        report = Communicator(2).drain()
+        assert report == 0 and report.per_rank == {}

@@ -1,0 +1,416 @@
+"""Rank-level fault tolerance: liveness, stragglers, buddy recovery.
+
+Covers the communicator's failure surface (fail-stop death, straggler
+deadlines, failure-aware collectives, drain accounting), the ``kill`` /
+``delay`` fault specs, the BuddyStore, and full solves on a 4-rank
+ensemble with a rank killed mid-solve under each ``tl_rank_policy``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator, DrainReport
+from repro.comm.multichunk import MultiChunkPort
+from repro.core.deck import default_deck, parse_deck_file
+from repro.core.driver import TeaLeaf
+from repro.resilience import BuddyStore, ChunkSnapshot, FaultPlan, parse_injections
+from repro.resilience.ranks import reflect_ghosts
+from repro.util.errors import (
+    CommError,
+    CommTimeoutError,
+    RankFailureError,
+    ReproError,
+)
+
+
+def rank_deck(spec="", **kwargs):
+    defaults = dict(n=32, solver="cg", end_step=2, eps=1e-10)
+    overrides = {
+        k: kwargs.pop(k)
+        for k in list(kwargs)
+        if k.startswith("tl_") or k in ("summary_frequency",)
+    }
+    defaults.update(kwargs)
+    deck = default_deck(**defaults)
+    if spec:
+        overrides.setdefault("tl_resilient", True)
+        overrides["tl_inject"] = spec
+    return dataclasses.replace(deck, **overrides) if overrides else deck
+
+
+def run_ensemble(deck, nranks=4):
+    port = MultiChunkPort(
+        deck.grid(),
+        nranks,
+        rank_policy=deck.tl_rank_policy,
+        spare_ranks=deck.tl_spare_ranks,
+    )
+    result = TeaLeaf(deck, port=port).run()
+    return port, result
+
+
+# --------------------------------------------------------------------- #
+# liveness table
+# --------------------------------------------------------------------- #
+class TestLiveness:
+    def test_kill_marks_dead_and_purges_mailbox(self):
+        world = Communicator(3)
+        world.rank(0).Send(np.zeros(4), dest=1)
+        world.kill(1)
+        assert not world.is_alive(1)
+        assert world.dead_ranks() == (1,)
+        assert world.alive_ranks() == (0, 2)
+        assert world.pending(1) == 0
+        assert world.lost_to_dead == 1
+
+    def test_ping_and_heartbeat(self):
+        world = Communicator(3)
+        assert world.ping(2)
+        world.kill(2)
+        assert not world.ping(2)
+        assert world.heartbeat() == (2,)
+        assert world.pings_sent == 2
+        assert world.heartbeats_sent == 1
+
+    def test_dead_rank_cannot_send(self):
+        world = Communicator(2)
+        world.kill(0)
+        with pytest.raises(CommError, match="dead rank 0 attempted to send"):
+            world.rank(0).Send(np.zeros(1), dest=1)
+
+    def test_send_to_dead_rank_is_a_black_hole(self):
+        world = Communicator(2)
+        world.kill(1)
+        world.rank(0).Send(np.zeros(1), dest=1)  # no error: sender can't know
+        assert world.lost_to_dead == 1
+        assert world.messages_sent == 0
+
+    def test_recv_from_dead_rank_times_out(self):
+        world = Communicator(2)
+        world.kill(1)
+        with pytest.raises(CommTimeoutError, match="rank 1 is dead") as excinfo:
+            world.rank(0).Recv(source=1)
+        assert excinfo.value.peer == 1
+
+    def test_kill_bounds_checked(self):
+        with pytest.raises(ReproError):
+            Communicator(2).kill(5)
+
+
+# --------------------------------------------------------------------- #
+# straggler deadlines
+# --------------------------------------------------------------------- #
+class TestStragglers:
+    def test_late_message_times_out_and_marker_is_consumed(self):
+        world = Communicator(2)
+        world.post_late(0, 1, tag=7)
+        with pytest.raises(CommTimeoutError, match="straggling") as excinfo:
+            world.rank(1).Recv(source=0, tag=7)
+        assert excinfo.value.peer == 0
+        # The marker was consumed: a second wait is a plain deadlock, and
+        # a retried exchange can re-post the message normally.
+        with pytest.raises(CommError, match="deadlock"):
+            world.rank(1).Recv(source=0, tag=7)
+        world.rank(0).Send(np.array([3.0]), dest=1, tag=7)
+        assert world.rank(1).Recv(source=0, tag=7)[0] == 3.0
+
+    def test_drain_reports_per_rank_counts(self):
+        world = Communicator(3)
+        world.rank(0).Send(np.zeros(1), dest=1)
+        world.rank(2).Send(np.zeros(1), dest=1)
+        world.rank(0).Send(np.zeros(1), dest=2)
+        world.post_late(1, 2, tag=0)
+        dropped = world.drain()
+        assert isinstance(dropped, DrainReport)
+        assert isinstance(dropped, int) and dropped == 4
+        assert dropped.per_rank == {1: 2, 2: 2}
+        again = world.drain()
+        assert again == 0 and again.per_rank == {}
+
+
+# --------------------------------------------------------------------- #
+# failure-aware collectives
+# --------------------------------------------------------------------- #
+class TestAllreduceGuards:
+    def test_non_finite_partial_names_the_rank(self):
+        world = Communicator(3)
+        with pytest.raises(CommError, match="non-finite partial nan from rank 1"):
+            world.allreduce_sum([1.0, float("nan"), 2.0])
+
+    def test_non_finite_partial_uses_the_rank_mapping(self):
+        world = Communicator(5)
+        with pytest.raises(CommError, match="from rank 4"):
+            world.allreduce_sum([1.0, float("inf")], ranks=[0, 4])
+
+    def test_dead_participant_times_out(self):
+        world = Communicator(3)
+        world.kill(2)
+        with pytest.raises(CommTimeoutError, match="dead rank\\(s\\) 2") as excinfo:
+            world.allreduce_sum([1.0, 2.0, 3.0])
+        assert excinfo.value.peer == 2
+
+    def test_non_participants_may_be_dead(self):
+        world = Communicator(3)
+        world.kill(1)
+        assert world.allreduce_sum([1.0, 2.0], ranks=[0, 2]) == pytest.approx(3.0)
+
+    def test_arity_follows_the_rank_mapping(self):
+        world = Communicator(4)
+        with pytest.raises(ReproError, match="expects 2 partials"):
+            world.allreduce_sum([1.0], ranks=[0, 3])
+
+
+# --------------------------------------------------------------------- #
+# kill / delay fault specs
+# --------------------------------------------------------------------- #
+class TestRankFaultSpecs:
+    def test_kill_spec_roundtrip(self):
+        from repro.resilience import FaultSpec
+
+        spec = FaultSpec.parse("kill:1:3")
+        assert (spec.kind, spec.target, spec.at) == ("kill", "1", 3)
+        assert spec.render() == "kill:1:3"
+
+    @pytest.mark.parametrize("bad", ["kill:notarank:3", "kill:u:3", "delay:q:2"])
+    def test_bad_rank_specs_rejected(self, bad):
+        from repro.resilience import FaultSpec
+
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+    def test_rank_kill_fires_once_at_trigger(self):
+        plan = FaultPlan(parse_injections("kill:2:5"))
+        assert plan.rank_kills_due(4) == []
+        due = plan.rank_kills_due(6)
+        assert len(due) == 1
+        rank, detail = plan.apply_rank_kill(due[0][0])
+        assert rank == 2
+        assert "fail-stopped" in detail
+        assert plan.rank_kills_due(99) == []  # consumed
+
+    def test_delay_verdict_then_deliver(self):
+        plan = FaultPlan(parse_injections("delay:p:2"))
+        buf = np.ones(4)
+        assert plan.halo_verdict("p", buf) == "deliver"
+        assert plan.halo_verdict("p", buf) == "delay"
+        assert plan.halo_verdict("p", buf) == "deliver"  # consumed
+        assert np.all(buf == 1.0)
+
+
+# --------------------------------------------------------------------- #
+# buddy store
+# --------------------------------------------------------------------- #
+class TestBuddyStore:
+    @staticmethod
+    def snap(chunk):
+        return ChunkSnapshot(chunk=chunk, iteration=5, step=1, fields={})
+
+    def test_buddy_is_the_ring_neighbour(self):
+        store = BuddyStore(4)
+        assert [store.buddy_of(c) for c in range(4)] == [1, 2, 3, 0]
+
+    def test_recall_prefers_the_primary(self):
+        store = BuddyStore(4)
+        store.store(self.snap(1))
+        assert store.recall(1, lambda c: True).chunk == 1
+
+    def test_recall_serves_the_mirror_when_the_owner_is_dead(self):
+        store = BuddyStore(4)
+        store.store(self.snap(1))
+        alive = lambda c: c != 1  # noqa: E731
+        assert store.recall(1, alive) is not None
+
+    def test_recall_is_none_when_owner_and_buddy_are_dead(self):
+        store = BuddyStore(4)
+        store.store(self.snap(1))
+        alive = lambda c: c not in (1, 2)  # noqa: E731
+        assert store.recall(1, alive) is None
+
+    def test_recall_is_none_before_any_capture(self):
+        store = BuddyStore(4)
+        assert store.recall(0, lambda c: True) is None
+
+    def test_reflect_ghosts_mirrors_the_interior(self):
+        arr = np.zeros((6, 6))
+        arr[2:4, 2:4] = np.arange(4.0).reshape(2, 2) + 1.0
+        reflect_ghosts(arr, 2)
+        assert arr[2, 1] == arr[2, 2] and arr[2, 0] == arr[2, 3]
+        assert arr[1, 2] == arr[2, 2] and arr[0, 2] == arr[3, 2]
+        assert arr[0, 0] == arr[3, 3]  # corners reflect both axes
+
+
+# --------------------------------------------------------------------- #
+# kill-mid-solve integration (4-rank ensemble)
+# --------------------------------------------------------------------- #
+class TestKillMidSolve:
+    @pytest.fixture(scope="class")
+    def fault_free(self):
+        port, result = run_ensemble(rank_deck())
+        return result.final_summary.temperature
+
+    def test_spare_rank_adopts_the_dead_chunk(self, fault_free):
+        deck = rank_deck("kill:1:8", tl_rank_policy="spare", tl_spare_ranks=1)
+        port, result = run_ensemble(deck)
+        assert result.final_summary.temperature == pytest.approx(
+            fault_free, abs=1e-10
+        )
+        assert port.rank_of_chunk[1] == 4  # the spare took over chunk 1
+        assert port.recovery.spare_pool == []  # the pool was consumed
+        rep = result.resilience
+        assert rep.rank_deaths == 1
+        assert rep.rank_recoveries >= 1
+        assert any(
+            "buddy restore" in e.detail and "policy=spare" in e.detail
+            for e in rep.events
+            if e.kind == "rank_recovery"
+        )
+
+    def test_shrink_redistributes_over_the_survivors(self, fault_free):
+        deck = rank_deck("kill:1:8", tl_rank_policy="shrink")
+        port, result = run_ensemble(deck)
+        assert result.final_summary.temperature == pytest.approx(
+            fault_free, abs=1e-9
+        )
+        assert port.nchunks == 3
+        assert port.model_name.endswith("+mpi(3)")
+        rep = result.resilience
+        assert rep.rank_deaths == 1
+        assert any(
+            "shrunk ensemble 4->3" in e.detail for e in rep.events
+        )
+
+    def test_policy_none_is_fatal(self):
+        deck = rank_deck("kill:1:8")  # tl_rank_policy defaults to none
+        with pytest.raises(RankFailureError, match="tl_rank_policy=none"):
+            run_ensemble(deck)
+
+    def test_dead_buddy_pair_is_unrecoverable(self):
+        # Chunk 2 is chunk 1's buddy: killing both in the same interval
+        # loses chunk 1's snapshot entirely.
+        deck = rank_deck(
+            "kill:1:8,kill:2:8", tl_rank_policy="spare", tl_spare_ranks=2
+        )
+        with pytest.raises(RankFailureError, match="both it and its buddy"):
+            run_ensemble(deck)
+
+    def test_exhausted_spare_pool_is_fatal(self):
+        deck = rank_deck(
+            "kill:1:6,kill:3:14", tl_rank_policy="spare", tl_spare_ranks=1
+        )
+        with pytest.raises(RankFailureError, match="tl_spare_ranks exhausted"):
+            run_ensemble(deck)
+
+    def test_straggler_retries_without_rollback(self, fault_free):
+        deck = rank_deck("delay:p:6")
+        port, result = run_ensemble(deck)
+        # A drained retry re-runs one idempotent exchange: bit-identical.
+        assert result.final_summary.temperature == fault_free
+        rep = result.resilience
+        assert rep.retries >= 1
+        assert rep.rollbacks == 0
+        assert rep.rank_deaths == 0
+        assert any("straggling" in e.detail for e in rep.events)
+
+    def test_mailboxes_quiescent_after_every_exchange(self):
+        deck = rank_deck(
+            "kill:1:8", tl_rank_policy="spare", tl_spare_ranks=1, end_step=1
+        )
+        port = MultiChunkPort(
+            deck.grid(), 4, rank_policy="spare", spare_ranks=1
+        )
+        exchanges = []
+        original = port.update_halo
+
+        def checked(names, depth):
+            original(names, depth)
+            # `port.world` is re-read after the call: shrink replaces it.
+            exchanges.append(
+                all(port.world.pending(r) == 0 for r in range(port.world.size))
+            )
+
+        port.update_halo = checked
+        TeaLeaf(deck, port=port).run()
+        assert len(exchanges) > 10
+        assert all(exchanges)
+
+
+# --------------------------------------------------------------------- #
+# deterministic injection across decompositions
+# --------------------------------------------------------------------- #
+class TestDeterminism:
+    SPEC = "nan:u:6,bitflip:p:10"
+
+    @staticmethod
+    def run_ranks(nranks, seed=99):
+        deck = rank_deck(TestDeterminism.SPEC, tl_fault_seed=seed)
+        if nranks == 1:
+            result = TeaLeaf(deck).run()
+        else:
+            _, result = run_ensemble(deck, nranks=nranks)
+        return result
+
+    def test_same_seed_same_event_sequence_across_rank_counts(self):
+        sequences = {}
+        for nranks in (1, 2, 4):
+            rep = self.run_ranks(nranks).resilience
+            sequences[nranks] = [(e.kind, e.iteration) for e in rep.events]
+        assert sequences[1] == sequences[2] == sequences[4]
+
+    def test_same_seed_identical_replay(self):
+        a = self.run_ranks(4).resilience
+        b = self.run_ranks(4).resilience
+        assert [(e.kind, e.iteration, e.detail) for e in a.events] == [
+            (e.kind, e.iteration, e.detail) for e in b.events
+        ]
+
+    def test_physics_matches_fault_free_for_every_rank_count(self):
+        base = TeaLeaf(rank_deck()).run().final_summary.temperature
+        for nranks in (1, 2, 4):
+            temp = self.run_ranks(nranks).final_summary.temperature
+            assert temp == pytest.approx(base, abs=1e-10)
+
+
+# --------------------------------------------------------------------- #
+# acceptance: the benchmark deck survives a mid-solve rank kill
+# --------------------------------------------------------------------- #
+class TestBenchmarkAcceptance:
+    @pytest.fixture(scope="class")
+    def bm_deck(self):
+        from pathlib import Path
+
+        decks = Path(__file__).resolve().parents[2] / "decks"
+        deck = parse_deck_file(decks / "tea_bm_short.in")
+        # One benchmark step keeps the tier-1 suite fast; the harness
+        # experiment (rank_resilience --full) runs all four steps.
+        return dataclasses.replace(deck, end_step=1)
+
+    @pytest.fixture(scope="class")
+    def bm_fault_free(self, bm_deck):
+        _, result = run_ensemble(bm_deck)
+        return result.final_summary.temperature
+
+    @pytest.mark.parametrize("policy", ["spare", "shrink"])
+    def test_kill_mid_solve_matches_fault_free_energy(
+        self, bm_deck, bm_fault_free, policy
+    ):
+        deck = dataclasses.replace(
+            bm_deck,
+            tl_inject="kill:1:30",
+            tl_resilient=True,
+            tl_rank_policy=policy,
+            tl_spare_ranks=1 if policy == "spare" else 0,
+        )
+        port, result = run_ensemble(deck)
+        tolerance = max(deck.tl_eps * abs(bm_fault_free), 1e-10)
+        assert abs(result.final_summary.temperature - bm_fault_free) <= tolerance
+        rep = result.resilience
+        assert rep.rank_deaths == 1
+        assert rep.rank_recoveries >= 1
+        assert any(
+            "buddy restore" in e.detail and f"policy={policy}" in e.detail
+            for e in rep.events
+            if e.kind == "rank_recovery"
+        )
+        assert all(port.world.pending(r) == 0 for r in range(port.world.size))

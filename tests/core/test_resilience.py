@@ -18,6 +18,7 @@ from repro.resilience import (
     FaultSpec,
     ResidualMonitor,
     ResilienceConfig,
+    ResilienceManager,
     parse_injections,
 )
 from repro.util.errors import (
@@ -320,3 +321,50 @@ class TestDeckResilienceOptions:
         assert deck.tl_inject == "nan:u:5"
         assert deck.tl_fault_seed == 42
         assert deck.tl_checkpoint_frequency == 4
+
+    def test_rank_policy_options_roundtrip(self):
+        from repro.core.deck import parse_deck
+
+        deck = parse_deck(
+            """
+            *tea
+            state 1 density=100.0 energy=0.0001
+            x_cells=16
+            y_cells=16
+            tl_rank_policy spare
+            tl_spare_ranks 2
+            tl_heartbeat_interval 5
+            *endtea
+            """
+        )
+        assert deck.tl_rank_policy == "spare"
+        assert deck.tl_spare_ranks == 2
+        assert deck.tl_heartbeat_interval == 5
+        assert ResilienceConfig.from_deck(deck).heartbeat_interval == 5
+
+
+# --------------------------------------------------------------------- #
+# retry backoff schedule
+# --------------------------------------------------------------------- #
+class TestRetryBackoff:
+    def test_schedule_is_exponential_from_the_base(self):
+        manager = ResilienceManager(
+            ResilienceConfig(backoff_base_seconds=0.002), sleep=lambda s: None
+        )
+        assert [manager.backoff_seconds(a) for a in (1, 2, 3, 4)] == [
+            0.002,
+            0.004,
+            0.008,
+            0.016,
+        ]
+
+    def test_retry_backoff_sleeps_the_computed_schedule(self):
+        slept = []
+        manager = ResilienceManager(
+            ResilienceConfig(backoff_base_seconds=0.25), sleep=slept.append
+        )
+        for attempt in (1, 2, 3):
+            manager.retry_backoff(attempt)
+        assert slept == [0.25, 0.5, 1.0]
+        retries = [e for e in manager.report.events if e.kind == "retry"]
+        assert [e.backoff_seconds for e in retries] == [0.25, 0.5, 1.0]
