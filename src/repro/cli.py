@@ -208,6 +208,49 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_numdiff(args: argparse.Namespace) -> int:
+    """First-divergence lockstep comparison of two ports."""
+    from repro.harness.numdiff import Perturbation, run_numdiff
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    if len(models) != 2:
+        print(f"--models needs exactly two comma-separated ports, got {models}",
+              file=sys.stderr)
+        return 2
+    for m in models:
+        if m not in available_models():
+            print(f"unknown model '{m}'; available: "
+                  f"{', '.join(available_models())}", file=sys.stderr)
+            return 2
+
+    if args.deck:
+        deck = parse_deck_file(args.deck)
+    else:
+        deck = default_deck(n=args.mesh, solver=args.solver, end_step=args.steps)
+
+    perturbation = None
+    if args.perturb:
+        parts = args.perturb.split(":")
+        if len(parts) != 3:
+            print(f"bad --perturb '{args.perturb}' (expected KERNEL:CALL:FIELD)",
+                  file=sys.stderr)
+            return 2
+        perturbation = Perturbation(parts[0], int(parts[1]), parts[2])
+
+    report = run_numdiff(models[0], models[1], deck, perturbation=perturbation)
+    print(report.describe())
+    if report.divergence is None:
+        return 0
+    d = report.divergence
+    print(f"  iteration : {d.iteration}")
+    print(f"  kernel    : {d.kernel} (call #{d.call_index})")
+    print(f"  field     : {d.field}")
+    print(f"  location  : {d.where}")
+    print(f"  values    : {d.value_a!r} vs {d.value_b!r}")
+    print(f"  distance  : {d.max_ulp} ULP")
+    return 1
+
+
 def _cmd_complexity(args: argparse.Namespace) -> int:
     from repro.harness.complexity import compare, render
 
@@ -326,6 +369,24 @@ def build_parser() -> argparse.ArgumentParser:
         "complexity", help="porting-effort comparison across the ports"
     )
     complexity.set_defaults(fn=_cmd_complexity)
+
+    numdiff = sub.add_parser(
+        "numdiff",
+        help="run two ports in lockstep and report the first bitwise divergence",
+    )
+    numdiff.add_argument(
+        "--models", required=True, metavar="A,B",
+        help="two comma-separated port names, e.g. kokkos,openmp-f90",
+    )
+    numdiff.add_argument("--deck", help="tea.in-style deck file")
+    numdiff.add_argument("--mesh", type=int, default=32, help="NxN mesh (no deck file)")
+    numdiff.add_argument("--solver", default="cg", help="cg|chebyshev|ppcg|jacobi")
+    numdiff.add_argument("--steps", type=int, default=1, help="timesteps (no deck file)")
+    numdiff.add_argument(
+        "--perturb", metavar="KERNEL:CALL:FIELD",
+        help="self-test: one-ULP nudge after the CALL-th KERNEL call on port B",
+    )
+    numdiff.set_defaults(fn=_cmd_numdiff)
     return parser
 
 

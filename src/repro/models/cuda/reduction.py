@@ -28,20 +28,29 @@ def next_pow2(n: int) -> int:
 def block_reduce_sum(values: np.ndarray, block_size: int) -> np.ndarray:
     """Per-block sums via the stride-halving shared-memory tree.
 
-    ``values`` holds one contribution per thread of the launch and must be
-    a whole number of blocks; ``block_size`` must be a power of two (the
-    classic kernel's requirement — TeaLeaf pads its launches accordingly).
+    ``values`` holds one contribution per thread of the launch;
+    ``block_size`` must be a power of two (the classic kernel's
+    requirement — TeaLeaf pads its launches accordingly).  A non-whole
+    trailing block is zero-padded, exactly what the real kernel's
+    overspill guard produces: threads past ``n`` contribute the reducer
+    identity to the shared-memory tree.  The padding keeps every block's
+    tree the same fixed shape, so the partials match
+    :func:`repro.models.reduction.chunk_partials` bit for bit when
+    ``block_size`` equals the canonical chunk width.
+
     Returns one partial per block, summed in tree order (which is *not*
     left-to-right order: tests assert it still matches np.sum to fp
     tolerance, as on real hardware).
     """
     if block_size < 1 or block_size & (block_size - 1):
         raise ModelError(f"block_size must be a power of two, got {block_size}")
-    if values.ndim != 1 or values.size % block_size:
-        raise ModelError(
-            f"values (size {values.size}) must be a whole number of "
-            f"blocks of {block_size}"
-        )
+    if values.ndim != 1:
+        raise ModelError(f"values must be 1-D, got {values.ndim}-D")
+    if values.size == 0:
+        return np.zeros(0)
+    tail = values.size % block_size
+    if tail:
+        values = np.concatenate([values, np.zeros(block_size - tail)])
     shared = values.reshape(-1, block_size).copy()
     stride = block_size // 2
     while stride >= 1:

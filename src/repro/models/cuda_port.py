@@ -30,6 +30,7 @@ from repro.models.base import (
 from repro.models.cuda.launch import Dim3, ThreadContext, blocks_for, launch
 from repro.models.cuda.reduction import block_reduce_sum
 from repro.models.cuda.runtime import CudaRuntime, DeviceAllocation, MemcpyKind
+from repro.models.reduction import combine_partials
 from repro.models.tracing import Trace
 from repro.util.errors import ModelError
 
@@ -263,7 +264,9 @@ class CUDAPort(Port):
         )
         self.trace.reduction_pass(f"block_reduce:{kernel.__name__}", self.grid_dim.x * 8)
         self.rt.memcpy(self._partials_host, self._partials, MemcpyKind.DEVICE_TO_HOST)
-        return float(np.sum(self._partials_host))
+        # Canonical host-side combine of the block partials (the in-block
+        # tree already equals the canonical chunk stage).
+        return combine_partials(self._partials_host)
 
     def _d(self, name: str) -> np.ndarray:
         return self.dev[name].data

@@ -27,6 +27,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.models.reduction import deterministic_multi_sum, deterministic_sum
 from repro.util.errors import ModelError
 
 
@@ -76,9 +77,19 @@ class TeamMember:
 
 
 class Sum:
-    """Default Kokkos reducer: zero-initialised sum (§2.4)."""
+    """Default Kokkos reducer: zero-initialised sum (§2.4).
+
+    ``select`` optionally names the flat indices whose contributions are
+    live, in canonical (row-major interior) order: the flat Kokkos port
+    masks halo cells to zero inside the functor body, and the deterministic
+    finalize must fold only the live cells — in the same order as every
+    other port — for the result to be bitwise portable across models.
+    """
 
     width = 1
+
+    def __init__(self, select: np.ndarray | None = None) -> None:
+        self.select = select
 
     def init(self) -> float:
         return 0.0
@@ -87,8 +98,11 @@ class Sum:
         return a + b
 
     def combine_contributions(self, contrib) -> float:
-        """Reduce one batch's per-index contributions."""
-        return float(np.sum(contrib))
+        """Reduce one batch's per-index contributions deterministically."""
+        values = np.asarray(contrib, dtype=np.float64).ravel()
+        if self.select is not None:
+            values = values[self.select]
+        return deterministic_sum(values)
 
 
 class MultiSum:
@@ -99,10 +113,11 @@ class MultiSum:
     this is that reducer.
     """
 
-    def __init__(self, width: int) -> None:
+    def __init__(self, width: int, select: np.ndarray | None = None) -> None:
         if width < 1:
             raise ModelError(f"MultiSum width must be positive, got {width}")
         self.width = width
+        self.select = select
 
     def init(self) -> tuple[float, ...]:
         return (0.0,) * self.width
@@ -117,7 +132,10 @@ class MultiSum:
             raise ModelError(
                 f"reduction functor returned {len(contrib)} values, expected {self.width}"
             )
-        return tuple(float(np.sum(c)) for c in contrib)
+        arrays = [np.asarray(c, dtype=np.float64).ravel() for c in contrib]
+        if self.select is not None:
+            arrays = [a[self.select] for a in arrays]
+        return deterministic_multi_sum(arrays)
 
 
 def parallel_for(policy: RangePolicy | TeamPolicy, functor: Callable) -> None:
@@ -149,18 +167,33 @@ def parallel_reduce(
     red = reducer if reducer is not None else Sum()
     if isinstance(policy, RangePolicy):
         if policy.scalar:
-            acc = red.init()
-            for i in range(policy.begin, policy.end):
-                value = functor(i)
-                acc = red.join(acc, value) if red.width > 1 else acc + value
-            return acc
+            # Buffer the per-index values and finalise through the same
+            # reducer as the batch path, so scalar validation dispatch is
+            # bitwise identical to batch dispatch.
+            values = [functor(i) for i in range(policy.begin, policy.end)]
+            if red.width > 1:
+                return red.combine_contributions(
+                    tuple(np.asarray([v[w] for v in values]) for w in range(red.width))
+                )
+            return red.combine_contributions(np.asarray(values))
         contrib = functor(np.arange(policy.begin, policy.end))
         return red.combine_contributions(contrib)
     if isinstance(policy, TeamPolicy):
+        partials = [
+            functor(TeamMember(rank, policy.league_size, policy.team_size))
+            for rank in range(policy.league_size)
+        ]
+        # "critically add the results from each team" (§3.3).  Teams that
+        # contribute whole per-lane arrays are folded through the shared
+        # deterministic finalize (league order is row order, the canonical
+        # contribution order); scalar per-team partials keep the classic
+        # left-to-right critical join.
+        if partials and all(isinstance(p, np.ndarray) for p in partials):
+            if red.width > 1:
+                raise ModelError("array team partials need a width-1 reducer")
+            return red.combine_contributions(np.concatenate(partials))
         acc = red.init()
-        for rank in range(policy.league_size):
-            partial = functor(TeamMember(rank, policy.league_size, policy.team_size))
-            # "critically add the results from each team" (§3.3)
+        for partial in partials:
             acc = red.join(acc, partial) if red.width > 1 else acc + partial
         return acc
     raise ModelError(f"unsupported policy {policy!r}")

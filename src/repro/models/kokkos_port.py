@@ -92,6 +92,22 @@ class _Geometry:
         h = self.h
         return (k >= h) & (k < h + self.ny) & (j >= h) & (j < h + self.nx)
 
+    def interior_select(self) -> np.ndarray:
+        """Flat indices of the interior cells in canonical row-major order.
+
+        Reduction functors return full-launch contribution arrays with
+        zeros at halo positions; gathering through this index list hands
+        the deterministic finalize the interior contributions in the same
+        order as every other port, whatever the layout.
+        """
+        h = self.h
+        k, j = np.meshgrid(
+            np.arange(h, h + self.ny), np.arange(h, h + self.nx), indexing="ij"
+        )
+        if self.layout is Layout.RIGHT:
+            return (k * self.NX + j).ravel()
+        return (j * self.NY + k).ravel()
+
 
 # --------------------------------------------------------------------- #
 # flat functors (conditional halo exclusion)
@@ -405,6 +421,9 @@ class KokkosPort(Port):
             for name in F.FIELD_ORDER
         }
         self._policy = RangePolicy(0, self.geo.NX * self.geo.NY)
+        select = self.geo.interior_select()
+        self._sum = Sum(select=select)
+        self._multi_sum = MultiSum(4, select=select)
         self._rx = 0.0
         self._ry = 0.0
 
@@ -469,6 +488,7 @@ class KokkosPort(Port):
             CGInitFunctor(
                 self.geo, v[F.U], v[F.U0], v[F.W], v[F.R], v[F.P], v[F.KX], v[F.KY]
             ),
+            reducer=self._sum,
         )
 
     def cg_calc_w(self) -> float:
@@ -477,6 +497,7 @@ class KokkosPort(Port):
         return parallel_reduce(
             self._policy,
             CGCalcWFunctor(self.geo, v[F.P], v[F.W], v[F.KX], v[F.KY]),
+            reducer=self._sum,
         )
 
     def cg_calc_ur(self, alpha: float) -> float:
@@ -485,6 +506,7 @@ class KokkosPort(Port):
         return parallel_reduce(
             self._policy,
             CGCalcURFunctor(self.geo, v[F.U], v[F.R], v[F.P], v[F.W], alpha),
+            reducer=self._sum,
         )
 
     def cg_calc_p(self, beta: float) -> None:
@@ -554,17 +576,22 @@ class KokkosPort(Port):
         return parallel_reduce(
             self._policy,
             JacobiFunctor(self.geo, v[F.U], v[F.R], v[F.U0], v[F.KX], v[F.KY]),
+            reducer=self._sum,
         )
 
     def norm2_field(self, name: str) -> float:
         v = self.views
         self._launch("norm2")
-        return parallel_reduce(self._policy, DotFunctor(self.geo, v[name], v[name]))
+        return parallel_reduce(
+            self._policy, DotFunctor(self.geo, v[name], v[name]), reducer=self._sum
+        )
 
     def dot_fields(self, a: str, b: str) -> float:
         v = self.views
         self._launch("dot_product")
-        return parallel_reduce(self._policy, DotFunctor(self.geo, v[a], v[b]))
+        return parallel_reduce(
+            self._policy, DotFunctor(self.geo, v[a], v[b]), reducer=self._sum
+        )
 
     def copy_field(self, src: str, dst: str) -> None:
         self._launch("copy_field")
@@ -586,7 +613,7 @@ class KokkosPort(Port):
             FieldSummaryFunctor(
                 self.geo, v[F.DENSITY], v[F.ENERGY1], v[F.U], self.grid.cell_volume
             ),
-            reducer=MultiSum(4),
+            reducer=self._multi_sum,
         )
 
 
@@ -670,13 +697,13 @@ class KokkosHPPort(KokkosPort):
         v = self.views
         self._launch("cg_init")
 
-        def team_body(member: TeamMember) -> float:
+        def team_body(member: TeamMember) -> np.ndarray:
             I, J = self._row(member), self._cols()
             w, r, p = v[F.W].data, v[F.R].data, v[F.P].data
             w[I, J] = self._team_matvec(member, v[F.U])
             r[I, J] = v[F.U0].data[I, J] - w[I, J]
             p[I, J] = r[I, J]
-            return float(np.dot(r[I, J], r[I, J]))
+            return r[I, J] * r[I, J]
 
         return parallel_reduce(self._team_policy, team_body, reducer=Sum())
 
@@ -684,10 +711,10 @@ class KokkosHPPort(KokkosPort):
         v = self.views
         self._launch("cg_calc_w")
 
-        def team_body(member: TeamMember) -> float:
+        def team_body(member: TeamMember) -> np.ndarray:
             I, J = self._row(member), self._cols()
             v[F.W].data[I, J] = self._team_matvec(member, v[F.P])
-            return float(np.dot(v[F.P].data[I, J], v[F.W].data[I, J]))
+            return v[F.P].data[I, J] * v[F.W].data[I, J]
 
         return parallel_reduce(self._team_policy, team_body, reducer=Sum())
 
@@ -695,12 +722,12 @@ class KokkosHPPort(KokkosPort):
         v = self.views
         self._launch("cg_calc_ur")
 
-        def team_body(member: TeamMember) -> float:
+        def team_body(member: TeamMember) -> np.ndarray:
             I, J = self._row(member), self._cols()
             u, r = v[F.U].data, v[F.R].data
             u[I, J] += alpha * v[F.P].data[I, J]
             r[I, J] -= alpha * v[F.W].data[I, J]
-            return float(np.dot(r[I, J], r[I, J]))
+            return r[I, J] * r[I, J]
 
         return parallel_reduce(self._team_policy, team_body, reducer=Sum())
 

@@ -132,15 +132,15 @@ def cg_init_slab(
     nx: int,
     r0: int,
     r1: int,
-) -> float:
-    """w = A u; r = u0 - w; p = r; returns partial rro."""
+) -> np.ndarray:
+    """w = A u; r = u0 - w; p = r; returns per-cell rro contributions."""
     matvec_slab(w, u, kx, ky, h, nx, r0, r1)
     I = _rows(h, r0, r1)
     J = _cols(h, nx)
     r[I, J] = u0[I, J] - w[I, J]
     p[I, J] = r[I, J]
     rr = r[I, J]
-    return float(np.dot(rr.ravel(), rr.ravel()))
+    return (rr * rr).ravel()
 
 
 def cg_calc_w_slab(
@@ -152,12 +152,12 @@ def cg_calc_w_slab(
     nx: int,
     r0: int,
     r1: int,
-) -> float:
-    """w = A p; returns partial pw = p.w."""
+) -> np.ndarray:
+    """w = A p; returns per-cell pw = p.w contributions."""
     matvec_slab(w, p, kx, ky, h, nx, r0, r1)
     I = _rows(h, r0, r1)
     J = _cols(h, nx)
-    return float(np.dot(p[I, J].ravel(), w[I, J].ravel()))
+    return (p[I, J] * w[I, J]).ravel()
 
 
 def cg_calc_ur_slab(
@@ -170,14 +170,14 @@ def cg_calc_ur_slab(
     nx: int,
     r0: int,
     r1: int,
-) -> float:
-    """u += alpha p; r -= alpha w; returns partial rrn = r.r."""
+) -> np.ndarray:
+    """u += alpha p; r -= alpha w; returns per-cell rrn contributions."""
     I = _rows(h, r0, r1)
     J = _cols(h, nx)
     u[I, J] += alpha * p[I, J]
     r[I, J] -= alpha * w[I, J]
     rr = r[I, J]
-    return float(np.dot(rr.ravel(), rr.ravel()))
+    return (rr * rr).ravel()
 
 
 def cg_calc_p_slab(
@@ -314,8 +314,8 @@ def jacobi_iterate_slab(
     nx: int,
     r0: int,
     r1: int,
-) -> float:
-    """u from old copy un: the classic Jacobi sweep; returns partial error."""
+) -> np.ndarray:
+    """u from old copy un: the Jacobi sweep; returns per-cell |u - un|."""
     I = _rows(h, r0, r1)
     J = _cols(h, nx)
     Jp = _cols(h, nx, 1)
@@ -330,7 +330,7 @@ def jacobi_iterate_slab(
         + ky[Ip, J] * un[Ip, J]
         + ky[I, J] * un[Im, J]
     ) / diag
-    return float(np.abs(u[I, J] - un[I, J]).sum())
+    return np.abs(u[I, J] - un[I, J]).ravel()
 
 
 def finalise_slab(
@@ -357,15 +357,19 @@ def field_summary_slab(
     nx: int,
     r0: int,
     r1: int,
-) -> tuple[float, float, float, float]:
-    """Partial (volume, mass, internal energy, temperature) totals."""
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-cell (volume, mass, internal energy, temperature) contributions.
+
+    Each term is formed per cell — ``vol * d``, not ``vol * sum(d)`` — so
+    the contribution values match the other ports' summary kernels bit for
+    bit before the shared deterministic reduction folds them.
+    """
     I = _rows(h, r0, r1)
     J = _cols(h, nx)
     d = density[I, J]
     e = energy[I, J]
-    cells = d.size
-    vol = cell_volume * cells
-    mass = cell_volume * float(d.sum())
-    ie = cell_volume * float((d * e).sum())
-    temp = cell_volume * float(u[I, J].sum())
+    vol = np.full(d.size, cell_volume)
+    mass = (cell_volume * d).ravel()
+    ie = (cell_volume * d * e).ravel()
+    temp = (cell_volume * u[I, J]).ravel()
     return vol, mass, ie, temp

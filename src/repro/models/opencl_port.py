@@ -30,6 +30,7 @@ from repro.models.base import (
 from repro.models.opencl.platform import DeviceType, find_device
 from repro.models.opencl.program import Program
 from repro.models.opencl.runtime import Buffer, CommandQueue, Context, MemFlags
+from repro.models.reduction import combine_partials
 from repro.models.tracing import Trace, TransferDirection
 from repro.util.errors import ModelError
 
@@ -325,7 +326,9 @@ class OpenCLPort(Port):
         host = self._partials_host[:groups]
         host[...] = self._partials.device_view[:groups]
         self.trace.transfer("read_partials", groups * 8, TransferDirection.D2H)
-        return float(np.sum(host))
+        # Canonical host-side combine: the work-group tree already equals
+        # the canonical chunk stage for the default local size.
+        return combine_partials(host)
 
     # ------------------------------------------------------------------ #
     # the kernel set

@@ -14,6 +14,10 @@ from __future__ import annotations
 import functools
 from typing import Callable, TypeVar
 
+import numpy as np
+
+from repro.models.reduction import deterministic_sum
+
 T = TypeVar("T")
 
 #: Default team size: the paper's CPU runs use dual-socket E5-2670 with 16
@@ -48,9 +52,11 @@ class OpenMPRuntime:
     """A fork-join thread team with static scheduling.
 
     Chunks execute sequentially in thread order (the emulation is
-    deterministic), but the *decomposition* — and therefore the floating
-    point summation order of reductions — is faithful to a static-scheduled
-    OpenMP team of ``num_threads`` threads.
+    deterministic), and the *decomposition* is faithful to a
+    static-scheduled OpenMP team of ``num_threads`` threads.  Reduction
+    partials are finalised through the shared deterministic pairwise tree
+    (:mod:`repro.models.reduction`) rather than the thread-join order, so
+    reduction scalars are bitwise identical across all ports.
     """
 
     def __init__(self, num_threads: int = DEFAULT_NUM_THREADS) -> None:
@@ -75,12 +81,22 @@ class OpenMPRuntime:
         body: Callable[[int, int], float],
         initial: float = 0.0,
     ) -> float:
-        """``parallel for reduction(+:acc)``: sum per-thread partials."""
+        """``parallel for reduction(+:acc)``: combine per-thread partials.
+
+        Each chunk's contribution — a scalar, or a per-iteration array for
+        bodies that expose their elementwise terms — is buffered in chunk
+        order (chunks are contiguous and ordered, so the concatenation is
+        the canonical iteration-order contribution vector) and finalised by
+        the shared deterministic pairwise tree.
+        """
         self.regions += 1
-        acc = initial
-        for start, end in static_chunks(n, self.num_threads):
-            acc += body(start, end)
-        return acc
+        parts = [
+            np.atleast_1d(np.asarray(body(start, end), dtype=np.float64)).ravel()
+            for start, end in static_chunks(n, self.num_threads)
+        ]
+        if not parts:
+            return initial
+        return initial + deterministic_sum(np.concatenate(parts))
 
     def parallel_reduce_multi(
         self,
@@ -89,7 +105,7 @@ class OpenMPRuntime:
         width: int,
     ) -> tuple[float, ...]:
         """Multi-variable reduction (``reduction(+:a,b,c)``)."""
-        acc = [0.0] * width
+        parts: list[list[np.ndarray]] = [[] for _ in range(width)]
         self.regions += 1
         for start, end in static_chunks(n, self.num_threads):
             partial = body(start, end)
@@ -98,8 +114,10 @@ class OpenMPRuntime:
                     f"reduction body returned {len(partial)} values, expected {width}"
                 )
             for i, v in enumerate(partial):
-                acc[i] += v
-        return tuple(acc)
+                parts[i].append(np.atleast_1d(np.asarray(v, dtype=np.float64)).ravel())
+        return tuple(
+            deterministic_sum(np.concatenate(p)) if p else 0.0 for p in parts
+        )
 
 
 def simd(fn: Callable[..., T]) -> Callable[..., T]:

@@ -285,12 +285,9 @@ class OpenMP3Port(Port):
         self._launch("norm2")
         return self.omp.parallel_reduce(
             self.grid.ny,
-            lambda r0, r1: float(
-                np.dot(
-                    a[h + r0 : h + r1, h : h + nx].ravel(),
-                    a[h + r0 : h + r1, h : h + nx].ravel(),
-                )
-            ),
+            lambda r0, r1: (
+                a[h + r0 : h + r1, h : h + nx] * a[h + r0 : h + r1, h : h + nx]
+            ).ravel(),
         )
 
     def dot_fields(self, name_a: str, name_b: str) -> float:
@@ -299,12 +296,9 @@ class OpenMP3Port(Port):
         self._launch("dot_product")
         return self.omp.parallel_reduce(
             self.grid.ny,
-            lambda r0, r1: float(
-                np.dot(
-                    a[h + r0 : h + r1, h : h + nx].ravel(),
-                    b[h + r0 : h + r1, h : h + nx].ravel(),
-                )
-            ),
+            lambda r0, r1: (
+                a[h + r0 : h + r1, h : h + nx] * b[h + r0 : h + r1, h : h + nx]
+            ).ravel(),
         )
 
     def copy_field(self, src: str, dst: str) -> None:

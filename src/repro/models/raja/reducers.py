@@ -2,14 +2,25 @@
 
 ``ReduceSum`` mirrors RAJA's reducer types: constructed before the
 ``forall``, accumulated from inside the lambda with ``+=``, read after
-with ``get()``.  Accumulating a NumPy array adds the sum of the batch —
+with ``get()``.  Accumulating a NumPy array contributes the whole batch —
 the emulation's analogue of each iteration contributing one value.
+
+Contributions are *buffered* in accumulation order and finalised once by
+the shared deterministic pairwise tree
+(:func:`repro.models.reduction.deterministic_sum`), mirroring how a real
+RAJA reducer defers the combine until the host reads the value.  The old
+emulation summed each contribution into a scalar left to right, which
+both produced a port-specific floating-point order (the cross-port CG
+drift) and made a reused reducer silently accumulate onto an
+already-read value.  ``get()`` is idempotent — the finalised value is
+cached — and accumulating after ``get()`` raises.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.models.reduction import deterministic_sum
 from repro.util.errors import ModelError
 
 
@@ -21,19 +32,24 @@ class ReduceSum:
         # the emulation accepts it for API fidelity but all policies reduce
         # deterministically.
         self.policy = policy
-        self._value = float(initial)
-        self._closed = False
+        self._initial = float(initial)
+        self._contributions: list[np.ndarray] = []
+        self._result: float | None = None
 
     def __iadd__(self, contribution) -> "ReduceSum":
-        if self._closed:
+        if self._result is not None:
             raise ModelError("ReduceSum accumulated after get()")
-        if isinstance(contribution, np.ndarray):
-            self._value += float(np.sum(contribution))
-        else:
-            self._value += float(contribution)
+        self._contributions.append(
+            np.atleast_1d(np.asarray(contribution, dtype=np.float64)).ravel()
+        )
         return self
 
     def get(self) -> float:
         """Final reduced value (closes the reducer, like RAJA's host read)."""
-        self._closed = True
-        return self._value
+        if self._result is None:
+            if self._contributions:
+                total = deterministic_sum(np.concatenate(self._contributions))
+            else:
+                total = 0.0
+            self._result = self._initial + total
+        return self._result

@@ -46,6 +46,7 @@ from repro.models.raja.forall import (
 )
 from repro.models.raja.reducers import ReduceSum
 from repro.models.raja.segments import IndexSet, ListSegment, RangeSegment
+from repro.models.reduction import deterministic_multi_sum
 from repro.models.tracing import Trace
 from repro.util.errors import ModelError
 
@@ -60,9 +61,11 @@ def multi_reduce_dispatch(
     The paper's port had to write its own dispatch-function implementations
     "to handle situations where we had multiple reduction variables, and
     for multiple indexing" (§3.4) — this is that code.  The body returns
-    one contribution array per reduction variable for each segment batch.
+    one contribution array per reduction variable for each segment batch;
+    per-variable contributions are buffered in segment order and finalised
+    by the shared deterministic pairwise tree.
     """
-    totals = [0.0] * width
+    parts: list[list[np.ndarray]] = [[] for _ in range(width)]
     for seg in indexset.segments:
         idx = seg.indices()
         if not idx.size:
@@ -73,8 +76,10 @@ def multi_reduce_dispatch(
                 f"multi-reduce body returned {len(contribs)} values, expected {width}"
             )
         for i, c in enumerate(contribs):
-            totals[i] += float(np.sum(c))
-    return tuple(totals)
+            parts[i].append(np.atleast_1d(np.asarray(c, dtype=np.float64)).ravel())
+    return deterministic_multi_sum(
+        [np.concatenate(p) if p else np.zeros(0) for p in parts]
+    )
 
 
 class RAJAPort(Port):

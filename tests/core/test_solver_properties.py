@@ -9,12 +9,14 @@ implements the operator it claims to.
 import numpy as np
 import pytest
 import scipy.sparse.linalg as spla
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.core import fields as F
 from repro.core import operators as ops
 from repro.core.grid import Grid2D
+from repro.core.solvers.base import Solver
 from repro.models.base import make_port
+from repro.util.errors import SolverError
 
 
 def solve_random_problem(port, grid, density, energy, dt, coefficient, eps=1e-10):
@@ -29,7 +31,15 @@ def solve_random_problem(port, grid, density, energy, dt, coefficient, eps=1e-10
         port.update_halo((F.P,), depth=1)
         pw = port.cg_calc_w()
         if pw == 0.0:
-            break
+            # Mirror the driver's hardened CG: p.Ap = 0 is only legitimate
+            # when the residual already meets the tolerance (Solver raises
+            # on a genuine Krylov breakdown rather than reporting success).
+            if Solver._converged(rro, rr0, eps):
+                break
+            raise SolverError(
+                f"CG breakdown in test harness: p.Ap = 0 with squared "
+                f"residual {rro:.3e} still above tolerance"
+            )
         alpha = rro / pw
         rrn = port.cg_calc_ur(alpha)
         if rrn <= eps * eps * rr0:
@@ -103,6 +113,15 @@ class TestRandomisedProblems:
         problem=random_problem(),
         model=st.sampled_from(["kokkos", "cuda", "raja-simd"]),
     )
+    # The seed-era falsifying example: Kokkos drifted from the Fortran-style
+    # OpenMP port at the last few ULPs because each port finalised its CG
+    # reductions in a different floating-point order.  Pinned so the exact
+    # counterexample that motivated the deterministic reduction core runs on
+    # every invocation, not just when Hypothesis rediscovers it.
+    @example(
+        problem=(9, 10, 0.0030421478487320614, ops.RECIP_CONDUCTIVITY, 332284993),
+        model="kokkos",
+    )
     @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     def test_ports_agree_on_random_problems(self, problem, model):
         nx, ny, dt, coefficient, seed = problem
@@ -112,6 +131,6 @@ class TestRandomisedProblems:
             port = make_port(m, grid)
             solve_random_problem(port, grid, density, energy, dt, coefficient)
             u[m] = port.read_field(F.U)[grid.inner()]
-        np.testing.assert_allclose(
-            u[model], u["openmp-f90"], rtol=1e-9, atol=1e-12
-        )
+        # Bitwise: every port routes reductions through the shared
+        # deterministic pairwise tree, so there is no tolerance to allow.
+        np.testing.assert_allclose(u[model], u["openmp-f90"], rtol=0, atol=0)

@@ -152,9 +152,32 @@ class TestBlockReduction:
         with pytest.raises(ModelError, match="power of two"):
             block_reduce_sum(np.zeros(6), 3)
 
-    def test_partial_block_rejected(self):
-        with pytest.raises(ModelError, match="whole number"):
-            block_reduce_sum(np.zeros(10), 4)
+    def test_partial_trailing_block_zero_padded(self):
+        """A non-whole trailing block reduces as if padded with zeros."""
+        values = np.arange(10.0)
+        partials = block_reduce_sum(values, 4)
+        padded = np.concatenate([values, np.zeros(2)])
+        np.testing.assert_array_equal(partials, block_reduce_sum(padded, 4))
+        assert partials.shape == (3,)
+
+    def test_empty_input(self):
+        assert block_reduce_sum(np.zeros(0), 8).shape == (0,)
+
+    @pytest.mark.parametrize("n", list(range(1, 258)))
+    def test_sweep_matches_deterministic_sum(self, n):
+        """Sizes 1..257 against the canonical chunk+combine pipeline.
+
+        With block_size equal to the canonical CHUNK, the device tree plus
+        the canonical host combine must reproduce deterministic_sum bit
+        for bit, whatever the tail shape (whole blocks, a partial trailing
+        block, or fewer values than one block).
+        """
+        from repro.models.reduction import CHUNK, combine_partials, deterministic_sum
+
+        rng = np.random.default_rng(n)
+        values = rng.standard_normal(n) * 10.0 ** rng.integers(-3, 4, size=n)
+        partials = block_reduce_sum(values, CHUNK)
+        assert combine_partials(partials) == deterministic_sum(values)
 
     @given(
         blocks=st.integers(1, 20),
