@@ -131,6 +131,58 @@ def with_openmp4() -> np.ndarray:
     return y
 
 
+def with_kernel_plan() -> None:
+    """The port-authoring surface after the kernel-plan refactor.
+
+    A TeaLeaf port no longer re-implements the ~20-kernel call sequence:
+    it supplies ``_k_<op>`` primitive bodies (plus a residency adapter
+    for offload models) and inherits dispatch, tracing, fusion, and
+    residency tracking from ``Port``.  Solvers hand declarative
+    :class:`Plan` objects to a :class:`PlanExecutor`, which is also the
+    one place cross-model optimisation happens: below, the PCG tail's
+    precondition + dot pair runs as two launches unfused and as a single
+    fused traversal — with bitwise-identical scalars.
+    """
+    from repro.core import fields as F
+    from repro.core.deck import default_deck
+    from repro.models.base import make_port
+    from repro.models.plan import KernelCall, Plan, PlanExecutor
+    from repro.models.tracing import Trace
+
+    deck = default_deck(n=16, solver="cg", end_step=1)
+    plan = Plan(
+        "pcg_tail_fragment",
+        (
+            KernelCall("cg_precon_jacobi"),
+            KernelCall("dot_fields", (F.R, F.Z), out="rrz"),
+        ),
+    )
+    scalars = {}
+    for fuse in (False, True):
+        trace = Trace()
+        grid = deck.grid()
+        port = make_port("openmp-f90", grid, trace)
+        density = np.ones(grid.shape)
+        energy = np.fromfunction(
+            lambda j, i: 1.0 + 0.1 * (i + 2 * j), grid.shape
+        )
+        port.set_state(density, energy)
+        port.set_field()
+        port.begin_solve()
+        port.tea_leaf_init(deck.initial_timestep, deck.tl_coefficient)
+        port.cg_init()
+        launches_before = trace.kernel_launches()
+        env = PlanExecutor(port, fuse=fuse).run(plan)
+        scalars[fuse] = env["rrz"]
+        print(
+            f"  fuse={'on ' if fuse else 'off'}: "
+            f"{trace.kernel_launches() - launches_before} launches, "
+            f"rrz={env['rrz']:.17e}"
+        )
+    assert scalars[False] == scalars[True]  # bitwise, not approximately
+    print(plan.describe(fuse=True))
+
+
 def main() -> None:
     expected = A * np.arange(N, dtype=float) + 1.0
     for name, fn in (
@@ -145,6 +197,8 @@ def main() -> None:
         ok = np.allclose(result, expected)
         print(f"{name:12s} daxpy: {'OK' if ok else 'WRONG'}")
         assert ok
+    print("kernel-plan dispatch (shared across all ports):")
+    with_kernel_plan()
 
 
 if __name__ == "__main__":

@@ -60,6 +60,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["tl_rank_policy"] = args.rank_policy
     if args.spare_ranks is not None:
         overrides["tl_spare_ranks"] = args.spare_ranks
+    if args.fuse:
+        overrides["tl_fuse_kernels"] = True
+    if args.residency:
+        overrides["tl_residency_tracking"] = True
     if overrides:
         deck = dataclasses.replace(deck, **overrides)
 
@@ -103,6 +107,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace_out:
         result.trace.to_json(args.trace_out)
         print(f"wrote execution trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Render the kernel plans one solve replays, compiled for a model."""
+    import dataclasses
+
+    from repro.core.driver import solve_step_plans
+    from repro.core.solvers import solver_plan_fragments
+    from repro.models.base import make_port
+    from repro.models.tracing import Trace
+
+    deck = default_deck(n=args.mesh, solver=args.solver, end_step=1)
+    if args.precon != "none":
+        deck = dataclasses.replace(deck, tl_preconditioner_type=args.precon)
+    try:
+        fragments = solver_plan_fragments(deck)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    port = make_port(args.model, deck.grid(), Trace())
+    fuse = args.fuse and port.supports_fusion
+    transparent = not port.has_data_region
+    if args.fuse and not fuse:
+        print(f"# model {args.model} does not support fusion; showing unfused")
+    print(f"# model={args.model} solver={deck.solver} mesh={args.mesh}")
+    prologue, epilogue = solve_step_plans(deck.grid().halo)
+    for p in [prologue, *fragments, epilogue]:
+        print(p.describe(fuse=fuse, transparent_barriers=transparent))
+        print()
     return 0
 
 
@@ -325,10 +359,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--spare-ranks", type=int, default=None,
         help="reserve ranks for the spare policy (overrides tl_spare_ranks)",
     )
+    run.add_argument(
+        "--fuse", action="store_true",
+        help="fuse adjacent fusable kernel launches (tl_fuse_kernels)",
+    )
+    run.add_argument(
+        "--residency", action="store_true",
+        help="track device-side field residency (tl_residency_tracking)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     models = sub.add_parser("models", help="list registered programming models")
     models.set_defaults(fn=_cmd_models)
+
+    plan = sub.add_parser(
+        "plan", help="show the kernel plans a solver replays on a model"
+    )
+    plan.add_argument("--model", default="openmp-f90", help="programming-model port")
+    plan.add_argument("--solver", default="cg", help="cg|chebyshev|ppcg|jacobi")
+    plan.add_argument("--mesh", type=int, default=32, help="NxN mesh")
+    plan.add_argument(
+        "--precon", choices=["none", "jac_diag"], default="none",
+        help="CG preconditioner (tl_preconditioner_type)",
+    )
+    plan.add_argument(
+        "--fuse", action="store_true",
+        help="compile with fusion on (if the model supports it)",
+    )
+    plan.set_defaults(fn=_cmd_plan)
 
     exp = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     exp.add_argument(

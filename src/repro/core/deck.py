@@ -109,6 +109,12 @@ class Deck:
     #: Solver iterations between ensemble liveness polls (0 = disabled;
     #: exchanges still fail fast on a dead peer).
     tl_heartbeat_interval: int = 10
+    #: Let the plan compiler fuse adjacent fusable kernel launches on
+    #: ports that declare fusion legal (forced off under fault injection).
+    tl_fuse_kernels: bool = False
+    #: Track device-side field residency so clean fields skip the
+    #: device->host readback (offload models only; no-op on host models).
+    tl_residency_tracking: bool = False
     states: tuple[State, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -306,6 +312,9 @@ def parse_deck(text: str) -> Deck:
             continue
         if lowered == "tl_resilient":
             values["tl_resilient"] = True
+            continue
+        if lowered in ("tl_fuse_kernels", "tl_residency_tracking"):
+            values[lowered] = True
             continue
         if lowered in _IGNORED_KEYS:
             continue

@@ -32,8 +32,38 @@ from repro.util.timing import TimerRegistry
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
     from repro.models.base import Port
+    from repro.models.plan import Plan
     from repro.models.tracing import Trace
     from repro.resilience import ResilienceManager, ResilienceReport
+
+
+def solve_step_plans(halo: int) -> tuple[Plan, Plan]:
+    """The per-step prologue/epilogue plans around ``Solver.solve``.
+
+    The prologue's set_field and tea_leaf_init are both elementwise, so
+    on fusion-capable host ports (where begin_solve is a hoistable no-op
+    barrier) they compile to a single traversal per step.
+    """
+    from repro.core import fields as F
+    from repro.models.plan import BarrierStep, Bind, HaloStep, KernelCall, Plan
+
+    prologue = Plan(
+        "solve_prologue",
+        (
+            KernelCall("set_field"),
+            BarrierStep("begin_solve"),
+            KernelCall("tea_leaf_init", (Bind("dt"), Bind("coefficient"))),
+            HaloStep((F.U,), depth=halo),
+        ),
+    )
+    epilogue = Plan(
+        "solve_epilogue",
+        (
+            KernelCall("tea_leaf_finalise"),
+            BarrierStep("end_solve"),
+        ),
+    )
+    return prologue, epilogue
 
 
 @dataclass(frozen=True)
@@ -121,6 +151,18 @@ class TeaLeaf:
         #: Directory for visit_frequency VTK dumps (default: cwd).
         self.visit_dir = visit_dir
 
+        # Plan execution: every port runs its kernels through one shared
+        # executor.  Fusion is opt-in per deck and only honoured by ports
+        # that declare it legal; it is forced off under fault injection,
+        # whose hooks wrap the public per-kernel methods that a fused
+        # dispatch would bypass.
+        from repro.models.plan import PlanExecutor
+
+        fuse = deck.tl_fuse_kernels and not (deck.tl_resilient or deck.tl_inject)
+        self.executor = PlanExecutor(self.port, fuse=fuse)
+        self.port.plan_executor = self.executor
+        self._prologue, self._epilogue = solve_step_plans(self.grid.halo)
+
         # Resilience layer: only constructed when the deck (or caller) asks
         # for it, so disabled runs pay nothing — the plain solver drives the
         # plain port.  Imported lazily because repro.resilience sits above
@@ -145,6 +187,12 @@ class TeaLeaf:
                 attach = getattr(self.port, "attach_fault_plan", None)
                 if attach is not None:
                     attach(self.resilience.plan)
+        # Residency tracking: skip device<->host traffic for fields the
+        # device has not dirtied since the last readback.  Incompatible
+        # with resilience, whose fault plans corrupt arrays behind the
+        # port's back — a mirror would serve stale checkpoint probes.
+        if deck.tl_residency_tracking and self.resilience is None:
+            self.port.enable_residency_tracking()
 
         density, energy0 = generate_chunk(list(deck.states), self.grid)
         with self.trace.section("init"):
@@ -180,13 +228,12 @@ class TeaLeaf:
                 with self.timers["solve"], self.trace.section(
                     "solve"
                 ), self.trace.section(self.deck.solver):
-                    self.port.set_field()
-                    self.port.begin_solve()
-                    self.port.tea_leaf_init(dt, self.deck.tl_coefficient)
-                    self.port.update_halo((F.U,), depth=self.grid.halo)
+                    self.executor.run(
+                        self._prologue,
+                        {"dt": dt, "coefficient": self.deck.tl_coefficient},
+                    )
                     solve = self.solver.solve(self.port, self.deck)
-                    self.port.tea_leaf_finalise()
-                    self.port.end_solve()
+                    self.executor.run(self._epilogue)
                 if manager is not None:
                     violation = manager.abft_check(self.port, self._abft_expected)
                     if violation is not None:

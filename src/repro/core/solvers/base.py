@@ -4,6 +4,13 @@ All solvers share one convergence criterion (relative residual 2-norm) and,
 for Chebyshev/PPCG, the same CG-based Lanczos eigenvalue estimation phase —
 mirroring the reference TeaLeaf where the Chebyshev family bootstraps from
 CG iterations.
+
+The kernel sequences themselves are expressed as :class:`~repro.models.plan.Plan`
+fragments (module constants below and in the solver modules) replayed
+through the port's plan executor.  Control flow that needs a host decision
+— breakdown tests, convergence checks — stays in Python between fragments,
+so the fragments split exactly at the reduction scalars those decisions
+consume.
 """
 
 from __future__ import annotations
@@ -11,14 +18,24 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.core import fields as F
 from repro.core.deck import Deck
+from repro.models.plan import (
+    Bind,
+    HaloStep,
+    KernelCall,
+    Plan,
+    ScalarStep,
+    check_finite,
+    executor_for,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
     from repro.models.base import Port
-from repro.util.errors import ConvergenceError, CorruptionError, SolverError
+from repro.util.errors import ConvergenceError, SolverError
 
 
 @dataclass
@@ -53,6 +70,45 @@ class SolveResult:
         return math.sqrt(self.error / self.initial_residual)
 
 
+# --------------------------------------------------------------------- #
+# shared plan fragments
+# --------------------------------------------------------------------- #
+def cg_alpha(env: Mapping[str, float]) -> float:
+    """alpha = rro / pw (the CG step length)."""
+    return env["rro"] / env["pw"]
+
+
+def cg_beta(env: Mapping[str, float]) -> float:
+    """beta = rrn / rro (the plain-CG direction update scalar)."""
+    return env["rrn"] / env["rro"]
+
+
+#: rro = r.r after building w, r, p from the current u.
+SOLVE_INIT = Plan("solve_init", (KernelCall("cg_init", out="rro", finite=True),))
+
+#: One CG iteration, split at its two host decision points: the breakdown
+#: test needs pw before alpha may be formed, and the convergence test sits
+#: between beta and the direction update.  The halo of the search
+#: direction is refreshed before every matvec, as the reference app does
+#: under MPI.
+CG_ITER_HEAD = Plan(
+    "cg_iter_head",
+    (
+        HaloStep((F.P,), depth=1),
+        KernelCall("cg_calc_w", out="pw", finite=True),
+    ),
+)
+CG_ITER_BODY = Plan(
+    "cg_iter_body",
+    (
+        ScalarStep("alpha", cg_alpha, finite=True),
+        KernelCall("cg_calc_ur", (Bind("alpha"),), out="rrn", finite=True),
+        ScalarStep("beta", cg_beta, finite=True),
+    ),
+)
+CG_ITER_TAIL = Plan("cg_iter_tail", (KernelCall("cg_calc_p", (Bind("beta"),)),))
+
+
 class Solver(ABC):
     """One TeaLeaf solver algorithm, driven through the Port kernel set."""
 
@@ -74,15 +130,12 @@ class Solver(ABC):
     def _finite(name: str, value: float) -> float:
         """Scalar corruption guard: NaN/Inf must never propagate silently.
 
-        Applied to every reduction scalar and derived step scalar
-        (rro/pw/alpha/beta); one float check per global reduction, so it
-        stays on even when the resilience layer is disabled.
+        Delegates to :func:`repro.models.plan.check_finite` — the same
+        guard the plan executor applies to ``finite=True`` steps — so one
+        float check runs per global reduction even when the resilience
+        layer is disabled.
         """
-        if not math.isfinite(value):
-            raise CorruptionError(
-                f"non-finite solver scalar {name} = {value!r}"
-            )
-        return value
+        return check_finite(name, value)
 
     @staticmethod
     def _converged(rrn: float, rr0: float, eps: float) -> bool:
@@ -106,15 +159,15 @@ class Solver(ABC):
     ) -> float:
         """Run up to ``max_iters`` CG iterations; returns the final rro.
 
-        Records alphas/betas into ``result`` (consumed by the Lanczos
-        eigenvalue estimate) and updates ``result.iterations`` / ``.error``
-        / ``.converged`` in place.  The halo of the search direction is
-        refreshed before every matvec, as the reference app does under MPI.
+        Replays the shared CG plan fragments and records alphas/betas into
+        ``result`` (consumed by the Lanczos eigenvalue estimate), updating
+        ``result.iterations`` / ``.error`` / ``.converged`` in place.
         """
+        ex = executor_for(port)
+        env = {"rro": rro}
         for _ in range(max_iters):
-            port.update_halo((F.P,), depth=1)
-            pw = Solver._finite("pw", port.cg_calc_w())
-            if pw == 0.0:
+            ex.run(CG_ITER_HEAD, env)
+            if env["pw"] == 0.0:
                 # p.Ap = 0 with an SPD matrix means p = 0, which is only
                 # legitimate when the residual is already at tolerance;
                 # otherwise the Krylov process has broken down and
@@ -126,11 +179,10 @@ class Solver(ABC):
                     f"CG breakdown: p.Ap = 0 with squared residual "
                     f"{rro:.3e} still above tolerance"
                 )
-            alpha = Solver._finite("alpha", rro / pw)
-            rrn = Solver._finite("rrn", port.cg_calc_ur(alpha))
-            beta = Solver._finite("beta", rrn / rro)
-            result.cg_alphas.append(alpha)
-            result.cg_betas.append(beta)
+            ex.run(CG_ITER_BODY, env)
+            rrn = env["rrn"]
+            result.cg_alphas.append(env["alpha"])
+            result.cg_betas.append(env["beta"])
             result.iterations += 1
             result.error = rrn
             result.history.append((result.iterations, rrn))
@@ -138,8 +190,9 @@ class Solver(ABC):
                 result.converged = True
                 rro = rrn
                 break
-            port.cg_calc_p(beta)
+            ex.run(CG_ITER_TAIL, env)
             rro = rrn
+            env["rro"] = rro
         return rro
 
     @staticmethod

@@ -18,25 +18,78 @@ with ``u += d`` and the residual maintained incrementally
 reduction the pure Chebyshev loop otherwise never needs — this is why the
 solver maps so well onto offload models (one kernel per iteration), which
 is visible throughout the paper's Figures 8-10.
+
+The rho recurrence lives in the iteration plan as scalar steps, so one
+compiled plan replays for every Chebyshev iteration.
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.core import fields as F
 from repro.core.deck import Deck
-from repro.core.solvers.base import Solver, SolveResult
+from repro.core.solvers.base import SOLVE_INIT, Solver, SolveResult
 from repro.core.solvers.eigenvalue import EigenEstimate, estimate_eigenvalues
+from repro.models.plan import Bind, HaloStep, KernelCall, Plan, ScalarStep, executor_for
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
     from repro.models.base import Port
 
 
+def cheby_rho_new(env: Mapping[str, float]) -> float:
+    """rho_k = 1 / (2 sigma - rho_{k-1})."""
+    return 1.0 / (2.0 * env["sigma"] - env["rho_old"])
+
+
+def cheby_alpha(env: Mapping[str, float]) -> float:
+    """alpha = rho_k rho_{k-1} (the d_{k-1} weight)."""
+    return env["rho_new"] * env["rho_old"]
+
+
+def cheby_beta(env: Mapping[str, float]) -> float:
+    """beta = 2 rho_k / delta (the r_k weight)."""
+    return 2.0 * env["rho_new"] / env["delta"]
+
+
+def cheby_advance_rho(env: Mapping[str, float]) -> float:
+    """Shift the recurrence: rho_{k-1} <- rho_k."""
+    return env["rho_new"]
+
+
+#: Enter the semi-iteration: fresh residual, d_0 = r/theta, u += d_0.
+CHEBY_HEAD = Plan(
+    "cheby_head",
+    (
+        HaloStep((F.U,), depth=1),
+        KernelCall("cheby_init", (Bind("theta"),)),
+    ),
+)
+
+#: One Chebyshev iteration: advance the rho recurrence, refresh the
+#: direction halo, sweep.  No reductions — the whole loop is this plan.
+CHEBY_STEP = Plan(
+    "cheby_step",
+    (
+        ScalarStep("rho_new", cheby_rho_new),
+        ScalarStep("alpha", cheby_alpha),
+        ScalarStep("beta", cheby_beta),
+        HaloStep((F.SD,), depth=1),
+        KernelCall("cheby_iterate", (Bind("alpha"), Bind("beta"))),
+        ScalarStep("rho_old", cheby_advance_rho),
+    ),
+)
+
+#: The periodic convergence probe (the loop's only global reduction).
+CHEBY_CHECK = Plan("cheby_check", (KernelCall("norm2_field", (F.R,), out="rrn"),))
+
+
 class ChebyshevSolver(Solver):
     name = "chebyshev"
 
     def solve(self, port: Port, deck: Deck) -> SolveResult:
-        rro = self._finite("rro", port.cg_init())
+        rro = executor_for(port).run(SOLVE_INIT)["rro"]
         result = SolveResult(
             solver=self.name,
             converged=False,
@@ -73,23 +126,22 @@ class ChebyshevSolver(Solver):
         result: SolveResult,
     ) -> None:
         """The pure Chebyshev loop (shared with tests and ablations)."""
-        theta, delta, sigma = estimate.theta, estimate.delta, estimate.sigma
-        port.update_halo((F.U,), depth=1)
-        port.cheby_init(theta)
+        ex = executor_for(port)
+        env = {
+            "theta": estimate.theta,
+            "delta": estimate.delta,
+            "sigma": estimate.sigma,
+            "rho_old": 1.0 / estimate.sigma,
+        }
+        ex.run(CHEBY_HEAD, env)
         result.iterations += 1
-        rho_old = 1.0 / sigma
 
         remaining = deck.tl_max_iters - result.iterations
         for it in range(remaining):
-            rho_new = 1.0 / (2.0 * sigma - rho_old)
-            alpha = rho_new * rho_old
-            beta = 2.0 * rho_new / delta
-            port.update_halo((F.SD,), depth=1)
-            port.cheby_iterate(alpha, beta)
-            rho_old = rho_new
+            ex.run(CHEBY_STEP, env)
             result.iterations += 1
             if (it + 1) % deck.tl_check_frequency == 0:
-                rrn = port.norm2_field(F.R)
+                rrn = ex.run(CHEBY_CHECK, env)["rrn"]
                 result.error = rrn
                 result.history.append((result.iterations, rrn))
                 if Solver._converged(rrn, rr0, deck.tl_eps):
@@ -97,6 +149,6 @@ class ChebyshevSolver(Solver):
                     return
         # Final check so a solve that converged between checkpoints on its
         # last iterations is not misreported.
-        rrn = port.norm2_field(F.R)
+        rrn = ex.run(CHEBY_CHECK, env)["rrn"]
         result.error = rrn
         result.converged = Solver._converged(rrn, rr0, deck.tl_eps)

@@ -14,17 +14,44 @@ from __future__ import annotations
 from repro.core.deck import Deck
 from repro.core import fields as F
 from repro.core.solvers.base import Solver, SolveResult
+from repro.models.plan import HaloStep, KernelCall, Plan, executor_for
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
     from repro.models.base import Port
+
+#: cg_init doubles as the initial-residual probe for reporting; its
+#: scalar is not finite-guarded here, matching the historical behaviour
+#: (the sweep itself detects corruption through the change reduction).
+JACOBI_INIT = Plan("jacobi_init", (KernelCall("cg_init", out="rr0"),))
+
+#: One sweep: u from the neighbours of the stashed previous iterate.
+JACOBI_STEP = Plan(
+    "jacobi_step",
+    (
+        HaloStep((F.U,), depth=1),
+        KernelCall("jacobi_iterate", out="change"),
+    ),
+)
+
+#: The true residual norm reported after the sweeps; residual + norm are
+#: both elementwise, so they fuse into one traversal where supported.
+JACOBI_RESIDUAL = Plan(
+    "jacobi_residual",
+    (
+        HaloStep((F.U,), depth=1),
+        KernelCall("tea_leaf_residual"),
+        KernelCall("norm2_field", (F.R,), out="rrn"),
+    ),
+)
 
 
 class JacobiSolver(Solver):
     name = "jacobi"
 
     def solve(self, port: Port, deck: Deck) -> SolveResult:
-        rr0 = port.cg_init()  # also computes the initial residual for reporting
+        ex = executor_for(port)
+        rr0 = ex.run(JACOBI_INIT)["rr0"]
         result = SolveResult(
             solver=self.name,
             converged=False,
@@ -39,8 +66,7 @@ class JacobiSolver(Solver):
 
         first_change: float | None = None
         for _ in range(deck.tl_max_iters):
-            port.update_halo((F.U,), depth=1)
-            change = port.jacobi_iterate()
+            change = ex.run(JACOBI_STEP)["change"]
             result.iterations += 1
             if first_change is None:
                 first_change = change if change > 0.0 else 1.0
@@ -48,12 +74,5 @@ class JacobiSolver(Solver):
                 result.converged = True
                 break
 
-        rrn = self._final_residual(port)
-        result.error = rrn
+        result.error = ex.run(JACOBI_RESIDUAL)["rrn"]
         return self.require_convergence(result, deck)
-
-    @staticmethod
-    def _final_residual(port: Port) -> float:
-        port.update_halo((F.U,), depth=1)
-        port.tea_leaf_residual()
-        return port.norm2_field(F.R)

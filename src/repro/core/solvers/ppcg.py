@@ -10,14 +10,21 @@ launches are expensive — the effect the paper observes on the KNC and GPU.
 
 Like the Chebyshev solver, PPCG bootstraps eigenvalue bounds from a short
 plain-CG phase before restarting as preconditioned CG.
+
+The preconditioner is built as one flat plan per solve: the rho recurrence
+depends only on the eigenvalue estimate, so its alphas/betas are baked in
+at plan-build time and the same compiled plan replays for every outer
+iteration.
 """
 
 from __future__ import annotations
 
 from repro.core import fields as F
 from repro.core.deck import Deck
-from repro.core.solvers.base import Solver, SolveResult
+from repro.core.solvers.base import CG_ITER_HEAD, SOLVE_INIT, Solver, SolveResult
+from repro.core.solvers.cg import PCG_ITER_BODY, pcg_beta
 from repro.core.solvers.eigenvalue import EigenEstimate, estimate_eigenvalues
+from repro.models.plan import Bind, HaloStep, KernelCall, Plan, ScalarStep, executor_for
 from repro.util.errors import SolverError
 from typing import TYPE_CHECKING
 
@@ -25,32 +32,72 @@ if TYPE_CHECKING:  # avoid a core <-> models import cycle
     from repro.models.base import Port
 
 
-def apply_polynomial_preconditioner(
-    port: Port, estimate: EigenEstimate, steps: int
-) -> None:
-    """z = P(A) r via ``steps`` Chebyshev iterations on A e = r, e0 = 0.
+def polynomial_preconditioner_plan(estimate: EigenEstimate, steps: int) -> Plan:
+    """z = P(A) r as a flat plan: ``steps`` Chebyshev iterations on
+    A e = r from e0 = 0.
 
     Uses the w field as the inner residual and sd as the inner direction;
     z accumulates the polynomial image.  Degree = ``steps`` applications
-    of A.
+    of A.  The rho recurrence is a pure function of the eigenvalue
+    estimate, so each step's alpha/beta are literal arguments — the plan
+    carries no scalar state between iterations.
     """
     theta, delta, sigma = estimate.theta, estimate.delta, estimate.sigma
-    port.ppcg_precon_init(theta)
+    plan_steps: list = [KernelCall("ppcg_precon_init", (theta,))]
     rho_old = 1.0 / sigma
     for _ in range(steps):
         rho_new = 1.0 / (2.0 * sigma - rho_old)
         alpha = rho_new * rho_old
         beta = 2.0 * rho_new / delta
-        port.update_halo((F.SD,), depth=1)
-        port.ppcg_precon_inner(alpha, beta)
+        plan_steps.append(HaloStep((F.SD,), depth=1))
+        plan_steps.append(KernelCall("ppcg_precon_inner", (alpha, beta)))
         rho_old = rho_new
+    return Plan(f"ppcg_precon({steps})", tuple(plan_steps))
+
+
+def apply_polynomial_preconditioner(
+    port: Port, estimate: EigenEstimate, steps: int
+) -> None:
+    """One preconditioner application on a bare port (tests, ablations)."""
+    executor_for(port).run(polynomial_preconditioner_plan(estimate, steps))
+
+
+#: Restart as preconditioned CG: fresh true residual before the first
+#: preconditioner application...
+PPCG_RESTART = Plan(
+    "ppcg_restart",
+    (
+        HaloStep((F.U,), depth=1),
+        KernelCall("tea_leaf_residual"),
+    ),
+)
+
+#: ...then p = z and the preconditioned inner product.
+PPCG_RESTART_TAIL = Plan(
+    "ppcg_restart_tail",
+    (
+        KernelCall("copy_field", (F.Z, F.P)),
+        KernelCall("dot_fields", (F.R, F.Z), out="rro", finite=True),
+    ),
+)
+
+#: After each preconditioner application: r.z, beta, direction update.
+PPCG_ITER_TAIL = Plan(
+    "ppcg_iter_tail",
+    (
+        KernelCall("dot_fields", (F.R, F.Z), out="rrz", finite=True),
+        ScalarStep("beta", pcg_beta, finite=True),
+        KernelCall("ppcg_calc_p", (Bind("beta"),)),
+    ),
+)
 
 
 class PPCGSolver(Solver):
     name = "ppcg"
 
     def solve(self, port: Port, deck: Deck) -> SolveResult:
-        rro = self._finite("rro", port.cg_init())
+        ex = executor_for(port)
+        rro = ex.run(SOLVE_INIT)["rro"]
         result = SolveResult(
             solver=self.name,
             converged=False,
@@ -74,19 +121,17 @@ class PPCGSolver(Solver):
         result.eigen_min = estimate.eigen_min
         result.eigen_max = estimate.eigen_max
         inner = deck.tl_ppcg_inner_steps
+        precon = polynomial_preconditioner_plan(estimate, inner)
 
         # --- restart as preconditioned CG -------------------------------- #
-        port.update_halo((F.U,), depth=1)
-        port.tea_leaf_residual()
-        apply_polynomial_preconditioner(port, estimate, inner)
+        ex.run(PPCG_RESTART)
+        ex.run(precon)
         result.inner_iterations += inner
-        port.copy_field(F.Z, F.P)
-        rro = Solver._finite("rro", port.dot_fields(F.R, F.Z))
+        env = ex.run(PPCG_RESTART_TAIL)
 
         while result.iterations < deck.tl_max_iters:
-            port.update_halo((F.P,), depth=1)
-            pw = Solver._finite("pw", port.cg_calc_w())
-            if pw == 0.0:
+            ex.run(CG_ITER_HEAD, env)
+            if env["pw"] == 0.0:
                 # Same breakdown rule as the CG paths: p = 0 is only
                 # convergence when the true residual says so.
                 if self._converged(result.error, rr0, deck.tl_eps):
@@ -96,18 +141,16 @@ class PPCGSolver(Solver):
                     f"PPCG breakdown: p.Ap = 0 with squared residual "
                     f"{result.error:.3e} still above tolerance"
                 )
-            alpha = Solver._finite("alpha", rro / pw)
-            rrn = Solver._finite("rrn", port.cg_calc_ur(alpha))
+            ex.run(PCG_ITER_BODY, env)
+            rrn = env["rrn"]
             result.iterations += 1
             result.error = rrn
             result.history.append((result.iterations, rrn))
             if self._converged(rrn, rr0, deck.tl_eps):
                 result.converged = True
                 break
-            apply_polynomial_preconditioner(port, estimate, inner)
+            ex.run(precon)
             result.inner_iterations += inner
-            rrz = Solver._finite("rrz", port.dot_fields(F.R, F.Z))
-            beta = Solver._finite("beta", rrz / rro)
-            port.ppcg_calc_p(beta)
-            rro = rrz
+            ex.run(PPCG_ITER_TAIL, env)
+            env["rro"] = env["rrz"]
         return self.require_convergence(result, deck)

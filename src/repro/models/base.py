@@ -19,6 +19,7 @@ from repro.core import fields as F
 from repro.core import operators as ops
 from repro.core.grid import Grid2D
 from repro.core.kernels import KERNELS, KernelSpec
+from repro.models.plan import OPS, KernelCall, fused_spec
 from repro.models.tracing import Trace, TransferDirection
 from repro.util.errors import ModelError
 
@@ -68,22 +69,51 @@ class Port(ABC):
     models) but must expose host copies through :meth:`read_field` /
     :meth:`write_field` so the driver, solvers, halo exchange and tests can
     interoperate.
+
+    Authoring a port means implementing the four data methods plus one
+    ``_k_<op>`` primitive per entry of :data:`repro.models.plan.OPS` the
+    deck's solver needs; the public kernel methods below are shared
+    dispatch shims that trace the launch, run the primitive, and report
+    written fields to the residency adapter.
     """
 
     #: Registry name of the model this port belongs to (set by subclasses).
     model_name: str = "?"
 
+    #: Whether :class:`~repro.models.plan.PlanExecutor` may hand this port
+    #: fused kernel groups (single-traversal elementwise models opt in).
+    supports_fusion: bool = False
+
+    #: True for offload models whose begin/end_solve opens a real data
+    #: region; gates barrier hoisting in the plan compiler.
+    has_data_region: bool = False
+
+    #: Executor the driver attaches for plan replay; solvers fall back to
+    #: an unfused :class:`~repro.models.plan.PlanExecutor` when absent.
+    plan_executor = None
+
     def __init__(self, grid: Grid2D, trace: Trace | None = None) -> None:
         self.grid = grid
         self.trace = trace if trace is not None else Trace()
         self.h = grid.halo
+        self._residency_enabled = False
 
     # ------------------------------------------------------------------ #
     # trace helpers
     # ------------------------------------------------------------------ #
-    def _launch(self, kernel_name: str, cells: int | None = None) -> KernelSpec:
-        """Record one kernel launch; returns the spec for footprint reuse."""
-        spec = KERNELS[kernel_name]
+    def _launch(
+        self,
+        kernel_name: str,
+        cells: int | None = None,
+        spec: KernelSpec | None = None,
+    ) -> KernelSpec:
+        """Record one kernel launch; returns the spec for footprint reuse.
+
+        ``spec`` overrides the :data:`KERNELS` lookup for synthesised
+        launches (fused traversals) that have no table entry.
+        """
+        if spec is None:
+            spec = KERNELS[kernel_name]
         n = self.grid.cells if cells is None else cells
         self.trace.kernel(
             kernel_name,
@@ -126,84 +156,168 @@ class Port(ABC):
     def end_solve(self) -> None:
         """Leave the solve-scope data region (no-op for host models)."""
 
+    def enable_residency_tracking(self, enabled: bool = True) -> None:
+        """Opt into dirty-field tracking so redundant transfers are elided.
+
+        Arms the dirty-set bookkeeping below.  Host ports have nothing to
+        elide; explicit-copy offload ports (CUDA, OpenCL) consult the set
+        in ``read_field`` to serve repeated host reads of unchanged fields
+        from a mirror, and data-region ports (OpenMP 4.x, OpenACC) hold
+        their solve data region open across timesteps instead.
+
+        Results are unaffected either way: only redundant transfers (and
+        their trace events) disappear.
+        """
+        self._residency_enabled = enabled
+        #: Host-side copies of device fields, valid while the field is
+        #: not in the dirty set.
+        self._host_mirror: dict[str, np.ndarray] = {}
+        #: Fields the device has written since their mirror was refreshed.
+        #: Everything starts dirty so first reads populate the mirror.
+        self._dirty_fields: set[str] = set(F.FIELD_ORDER)
+
+    def _mark_dirty(self, names: Iterable[str]) -> None:
+        """Residency hook: ``names`` were written on the device."""
+        if self._residency_enabled:
+            self._dirty_fields.update(names)
+
+    def _mirror_clean(self, name: str) -> np.ndarray | None:
+        """The mirrored host copy of ``name`` if it is still valid."""
+        if self._residency_enabled and name not in self._dirty_fields:
+            return self._host_mirror.get(name)
+        return None
+
+    def _mirror_store(self, name: str, host: np.ndarray) -> None:
+        """Record a freshly transferred host copy as the clean mirror."""
+        if self._residency_enabled:
+            self._host_mirror[name] = host.copy()
+            self._dirty_fields.discard(name)
+
     # ------------------------------------------------------------------ #
-    # the TeaLeaf kernel set
+    # the dispatch core
     # ------------------------------------------------------------------ #
-    @abstractmethod
+    def _primitive(self, op: str):
+        """The model-specific ``_k_<op>`` body for one operation."""
+        try:
+            return getattr(self, "_k_" + op)
+        except AttributeError:
+            raise ModelError(
+                f"port '{self.model_name}' has no primitive for '{op}' "
+                f"(expected a _k_{op} method)"
+            ) from None
+
+    def dispatch(self, call: KernelCall):
+        """Trace and run one operation from the kernel table."""
+        op = OPS[call.op]
+        self._launch(op.kernel)
+        result = self._primitive(call.op)(*call.args)
+        written = op.written(call.args)
+        if written:
+            self._mark_dirty(written)
+        return result
+
+    def dispatch_fused(self, calls: tuple[KernelCall, ...]) -> list:
+        """Run a fused group as one traced launch.
+
+        The member bodies execute sequentially in original order, so the
+        arithmetic (and every reduction, still on ``deterministic_sum``)
+        is bitwise-identical to dispatching them separately; only the
+        launch/traversal count changes.
+        """
+        spec = fused_spec(calls)
+        self._launch(spec.name, spec=spec)
+        results = []
+        for call in calls:
+            op = OPS[call.op]
+            results.append(self._primitive(call.op)(*call.args))
+            written = op.written(call.args)
+            if written:
+                self._mark_dirty(written)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # the TeaLeaf kernel set (shared shims over the _k_* primitives)
+    # ------------------------------------------------------------------ #
     def set_field(self) -> None:
         """energy1 = energy0."""
+        self.dispatch(KernelCall("set_field"))
 
-    @abstractmethod
     def tea_leaf_init(self, dt: float, coefficient: str) -> None:
         """u = u0 = energy1*density; build kx, ky with rx/ry folded in."""
+        self.dispatch(KernelCall("tea_leaf_init", (dt, coefficient)))
 
-    @abstractmethod
     def tea_leaf_residual(self) -> None:
         """r = u0 - A u."""
+        self.dispatch(KernelCall("tea_leaf_residual"))
 
-    @abstractmethod
     def cg_init(self) -> float:
         """w = A u; r = u0 - w; p = r; returns rro = r.r."""
+        return self.dispatch(KernelCall("cg_init"))
 
-    @abstractmethod
     def cg_calc_w(self) -> float:
         """w = A p; returns pw = p.w."""
+        return self.dispatch(KernelCall("cg_calc_w"))
 
-    @abstractmethod
     def cg_calc_ur(self, alpha: float) -> float:
         """u += alpha p; r -= alpha w; returns rrn = r.r."""
+        return self.dispatch(KernelCall("cg_calc_ur", (alpha,)))
 
-    @abstractmethod
     def cg_calc_p(self, beta: float) -> None:
         """p = r + beta p."""
+        self.dispatch(KernelCall("cg_calc_p", (beta,)))
 
-    @abstractmethod
     def cheby_init(self, theta: float) -> None:
         """r = u0 - A u; sd = r/theta; u += sd."""
+        self.dispatch(KernelCall("cheby_init", (theta,)))
 
-    @abstractmethod
     def cheby_iterate(self, alpha: float, beta: float) -> None:
         """r -= A sd; sd = alpha sd + beta r; u += sd."""
+        self.dispatch(KernelCall("cheby_iterate", (alpha, beta)))
 
-    @abstractmethod
     def ppcg_precon_init(self, theta: float) -> None:
         """w = r; sd = w/theta; z = sd (start the inner Chebyshev solve)."""
+        self.dispatch(KernelCall("ppcg_precon_init", (theta,)))
 
-    @abstractmethod
     def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
         """w -= A sd; sd = alpha sd + beta w; z += sd."""
+        self.dispatch(KernelCall("ppcg_precon_inner", (alpha, beta)))
 
-    @abstractmethod
     def ppcg_calc_p(self, beta: float) -> None:
         """p = z + beta p (the preconditioned direction update)."""
+        self.dispatch(KernelCall("ppcg_calc_p", (beta,)))
 
-    @abstractmethod
     def cg_precon_jacobi(self) -> None:
         """z = r / diag(A): apply the diagonal (jac_diag) preconditioner."""
+        self.dispatch(KernelCall("cg_precon_jacobi"))
 
-    @abstractmethod
     def jacobi_iterate(self) -> float:
-        """u_new from neighbours of old u; returns sum |u_new - u_old|."""
+        """u_new from neighbours of old u; returns sum |u_new - u_old|.
 
-    @abstractmethod
+        Every port realises the sweep the same way: stash the previous
+        iterate in r (its only free array), then update u from it.
+        """
+        self.copy_field(F.U, F.R)
+        return self.dispatch(KernelCall("jacobi_iterate"))
+
     def norm2_field(self, name: str) -> float:
         """Interior squared 2-norm of a field."""
+        return self.dispatch(KernelCall("norm2_field", (name,)))
 
-    @abstractmethod
     def dot_fields(self, a: str, b: str) -> float:
         """Interior dot product of two fields."""
+        return self.dispatch(KernelCall("dot_fields", (a, b)))
 
-    @abstractmethod
     def copy_field(self, src: str, dst: str) -> None:
         """dst = src over the whole allocation."""
+        self.dispatch(KernelCall("copy_field", (src, dst)))
 
-    @abstractmethod
     def tea_leaf_finalise(self) -> None:
         """energy1 = u / density."""
+        self.dispatch(KernelCall("tea_leaf_finalise"))
 
-    @abstractmethod
     def field_summary(self) -> tuple[float, float, float, float]:
         """(volume, mass, internal energy, temperature) interior totals."""
+        return self.dispatch(KernelCall("field_summary"))
 
     # ------------------------------------------------------------------ #
     # halo update
@@ -218,6 +332,7 @@ class Port(ABC):
         for name in names:
             ops.reflective_halo_update(self._device_array(name), self.h, depth)
             self._launch("halo_update", cells=self._halo_cells(depth))
+            self._mark_dirty((name,))
 
     @abstractmethod
     def _device_array(self, name: str) -> np.ndarray:

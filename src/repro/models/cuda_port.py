@@ -31,6 +31,7 @@ from repro.models.cuda.launch import Dim3, ThreadContext, blocks_for, launch
 from repro.models.cuda.reduction import block_reduce_sum
 from repro.models.cuda.runtime import CudaRuntime, DeviceAllocation, MemcpyKind
 from repro.models.reduction import combine_partials
+from repro.models.stencil import decode_interior, flat_diag, flat_matvec
 from repro.models.tracing import Trace
 from repro.util.errors import ModelError
 
@@ -43,20 +44,11 @@ BLOCK_SIZE = 128
 # --------------------------------------------------------------------- #
 def _interior_idx(ctx: ThreadContext, n: int, pitch: int, h: int, nx: int):
     """Global index + overspill guard + interior flat position."""
-    idx = ctx.global_idx
-    valid = idx < n
-    c = idx[valid]
-    k = c // nx + h
-    j = c % nx + h
-    return valid, k * pitch + j, j, k
+    return decode_interior(ctx.global_idx, n, pitch, h, nx)
 
 
 def _matvec(i, v, kx, ky, pitch):
-    return (
-        (1.0 + kx[i + 1] + kx[i] + ky[i + pitch] + ky[i]) * v[i]
-        - (kx[i + 1] * v[i + 1] + kx[i] * v[i - 1])
-        - (ky[i + pitch] * v[i + pitch] + ky[i] * v[i - pitch])
-    )
+    return flat_matvec(i, v, kx, ky, 1, pitch)
 
 
 def cuda_set_field(ctx, n, pitch, h, nx, energy0, energy1):
@@ -146,13 +138,12 @@ def cuda_ppcg_precon_init(ctx, n, pitch, h, nx, theta, w, sd, z, r):
 
 def cuda_cg_precon(ctx, n, pitch, h, nx, z, r, kx, ky):
     _, i, _, _ = _interior_idx(ctx, n, pitch, h, nx)
-    diag = 1.0 + kx[i + 1] + kx[i] + ky[i + pitch] + ky[i]
-    z[i] = r[i] / diag
+    z[i] = r[i] / flat_diag(i, kx, ky, 1, pitch)
 
 
 def cuda_jacobi(ctx, n, pitch, h, nx, u, un, u0, kx, ky, partials):
     valid, i, _, _ = _interior_idx(ctx, n, pitch, h, nx)
-    diag = 1.0 + kx[i + 1] + kx[i] + ky[i + pitch] + ky[i]
+    diag = flat_diag(i, kx, ky, 1, pitch)
     u[i] = (
         u0[i]
         + kx[i + 1] * un[i + 1]
@@ -201,9 +192,14 @@ def cuda_summary_term(ctx, n, pitch, h, nx, mode, cell_volume, density, energy, 
 # the port
 # --------------------------------------------------------------------- #
 class CUDAPort(Port):
-    """TeaLeaf as CUDA kernels over a 1-D grid of 1-D blocks."""
+    """TeaLeaf as CUDA kernels over a 1-D grid of 1-D blocks.
+
+    Fusable: adjacent elementwise bodies become one launch over the same
+    1-D grid, the standard CUDA megakernel move.
+    """
 
     model_name = "cuda"
+    supports_fusion = True
 
     def __init__(
         self,
@@ -238,14 +234,20 @@ class CUDAPort(Port):
         self.rt.memcpy(self.dev[F.DENSITY], density, MemcpyKind.HOST_TO_DEVICE)
         self.rt.memcpy(self.dev[F.ENERGY0], energy0, MemcpyKind.HOST_TO_DEVICE)
         self._launch("generate_chunk")
+        self._mark_dirty(F.FIELD_ORDER)
 
     def read_field(self, name: str) -> np.ndarray:
+        mirror = self._mirror_clean(name)
+        if mirror is not None:
+            return mirror.copy()
         host = np.zeros(self.grid.shape)
         self.rt.memcpy(host, self.dev[name], MemcpyKind.DEVICE_TO_HOST)
+        self._mirror_store(name, host)
         return host
 
     def write_field(self, name: str, values: np.ndarray) -> None:
         self.rt.memcpy(self.dev[name], values, MemcpyKind.HOST_TO_DEVICE)
+        self._mark_dirty((name,))
 
     def _device_array(self, name: str) -> np.ndarray:
         return self.dev[name].data.reshape(self._rows, self._pitch)
@@ -272,15 +274,13 @@ class CUDAPort(Port):
         return self.dev[name].data
 
     # ------------------------------------------------------------------ #
-    def set_field(self) -> None:
-        self._launch("set_field")
+    def _k_set_field(self) -> None:
         self._run(cuda_set_field, self._d(F.ENERGY0), self._d(F.ENERGY1))
 
-    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+    def _k_tea_leaf_init(self, dt: float, coefficient: str) -> None:
         g = self.grid
         self._rx = dt / (g.dx * g.dx)
         self._ry = dt / (g.dy * g.dy)
-        self._launch("tea_leaf_init")
         self._run(
             cuda_tea_leaf_init,
             self._rx,
@@ -294,44 +294,37 @@ class CUDAPort(Port):
             self._d(F.KY),
         )
 
-    def tea_leaf_residual(self) -> None:
-        self._launch("tea_leaf_residual")
+    def _k_tea_leaf_residual(self) -> None:
         self._run(
             cuda_residual, self._d(F.R), self._d(F.U0), self._d(F.U),
             self._d(F.KX), self._d(F.KY),
         )
 
-    def cg_init(self) -> float:
-        self._launch("cg_init")
+    def _k_cg_init(self) -> float:
         return self._run_reduce(
             cuda_cg_init,
             self._d(F.U), self._d(F.U0), self._d(F.W), self._d(F.R), self._d(F.P),
             self._d(F.KX), self._d(F.KY),
         )
 
-    def cg_calc_w(self) -> float:
-        self._launch("cg_calc_w")
+    def _k_cg_calc_w(self) -> float:
         return self._run_reduce(
             cuda_cg_calc_w, self._d(F.P), self._d(F.W), self._d(F.KX), self._d(F.KY)
         )
 
-    def cg_calc_ur(self, alpha: float) -> float:
-        self._launch("cg_calc_ur")
+    def _k_cg_calc_ur(self, alpha: float) -> float:
         return self._run_reduce(
             cuda_cg_calc_ur, alpha,
             self._d(F.U), self._d(F.R), self._d(F.P), self._d(F.W),
         )
 
-    def cg_calc_p(self, beta: float) -> None:
-        self._launch("cg_calc_p")
+    def _k_cg_calc_p(self, beta: float) -> None:
         self._run(cuda_axpy, beta, self._d(F.P), self._d(F.R))
 
-    def ppcg_calc_p(self, beta: float) -> None:
-        self._launch("cg_calc_p")
+    def _k_ppcg_calc_p(self, beta: float) -> None:
         self._run(cuda_axpy, beta, self._d(F.P), self._d(F.Z))
 
-    def cheby_init(self, theta: float) -> None:
-        self._launch("cheby_init")
+    def _k_cheby_init(self, theta: float) -> None:
         self._run(
             cuda_cheby_init, theta,
             self._d(F.U), self._d(F.U0), self._d(F.R), self._d(F.SD),
@@ -339,53 +332,42 @@ class CUDAPort(Port):
         )
         self._run(cuda_add, self._d(F.U), self._d(F.SD))
 
-    def cheby_iterate(self, alpha: float, beta: float) -> None:
-        self._launch("cheby_iterate")
+    def _k_cheby_iterate(self, alpha: float, beta: float) -> None:
         self._run(cuda_cheby_calc_r, self._d(F.R), self._d(F.SD), self._d(F.KX), self._d(F.KY))
         self._run(cuda_cheby_calc_sd_u, alpha, beta, self._d(F.SD), self._d(F.R), self._d(F.U))
 
-    def ppcg_precon_init(self, theta: float) -> None:
-        self._launch("ppcg_precon_init")
+    def _k_ppcg_precon_init(self, theta: float) -> None:
         self._run(
             cuda_ppcg_precon_init, theta,
             self._d(F.W), self._d(F.SD), self._d(F.Z), self._d(F.R),
         )
 
-    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
-        self._launch("ppcg_inner")
+    def _k_ppcg_precon_inner(self, alpha: float, beta: float) -> None:
         self._run(cuda_cheby_calc_r, self._d(F.W), self._d(F.SD), self._d(F.KX), self._d(F.KY))
         self._run(cuda_cheby_calc_sd_u, alpha, beta, self._d(F.SD), self._d(F.W), self._d(F.Z))
 
-    def cg_precon_jacobi(self) -> None:
-        self._launch("cg_precon")
+    def _k_cg_precon_jacobi(self) -> None:
         self._run(cuda_cg_precon, self._d(F.Z), self._d(F.R), self._d(F.KX), self._d(F.KY))
 
-    def jacobi_iterate(self) -> float:
-        self.copy_field(F.U, F.R)
-        self._launch("jacobi_iterate")
+    def _k_jacobi_iterate(self) -> float:
         return self._run_reduce(
             cuda_jacobi,
             self._d(F.U), self._d(F.R), self._d(F.U0), self._d(F.KX), self._d(F.KY),
         )
 
-    def norm2_field(self, name: str) -> float:
-        self._launch("norm2")
+    def _k_norm2_field(self, name: str) -> float:
         return self._run_reduce(cuda_dot, self._d(name), self._d(name))
 
-    def dot_fields(self, a: str, b: str) -> float:
-        self._launch("dot_product")
+    def _k_dot_fields(self, a: str, b: str) -> float:
         return self._run_reduce(cuda_dot, self._d(a), self._d(b))
 
-    def copy_field(self, src: str, dst: str) -> None:
-        self._launch("copy_field")
+    def _k_copy_field(self, src: str, dst: str) -> None:
         self.rt.memcpy(self.dev[dst], self.dev[src], MemcpyKind.DEVICE_TO_DEVICE)
 
-    def tea_leaf_finalise(self) -> None:
-        self._launch("tea_leaf_finalise")
+    def _k_tea_leaf_finalise(self) -> None:
         self._run(cuda_finalise, self._d(F.ENERGY1), self._d(F.U), self._d(F.DENSITY))
 
-    def field_summary(self) -> tuple[float, float, float, float]:
-        self._launch("field_summary")
+    def _k_field_summary(self) -> tuple[float, float, float, float]:
         terms = tuple(
             self._run_reduce(
                 cuda_summary_term, mode, self.grid.cell_volume,

@@ -53,6 +53,7 @@ from repro.models.kokkos.parallel import (
     parallel_for,
     parallel_reduce,
 )
+from repro.models.stencil import flat_diag, flat_matvec, row_diag, row_matvec
 from repro.models.tracing import Trace
 from repro.util.errors import ModelError
 
@@ -162,11 +163,7 @@ class _MatVecMixin:
 
     @staticmethod
     def matvec(i: np.ndarray, v, kx, ky, e: int, n: int) -> np.ndarray:
-        return (
-            (1.0 + kx[i + e] + kx[i] + ky[i + n] + ky[i]) * v[i]
-            - (kx[i + e] * v[i + e] + kx[i] * v[i - e])
-            - (ky[i + n] * v[i + n] + ky[i] * v[i - n])
-        )
+        return flat_matvec(i, v, kx, ky, e, n)
 
 
 class CGInitFunctor(_Functor, _MatVecMixin):
@@ -320,9 +317,7 @@ class CGPreconFunctor(_Functor):
     def __call__(self, idx: np.ndarray) -> None:
         geo = self.geo
         i = idx[geo.interior_mask(idx)]
-        e, n = geo.east, geo.north
-        diag = 1.0 + self.kx[i + e] + self.kx[i] + self.ky[i + n] + self.ky[i]
-        self.z[i] = self.r[i] / diag
+        self.z[i] = self.r[i] / flat_diag(i, self.kx, self.ky, geo.east, geo.north)
 
 
 class JacobiFunctor(_Functor):
@@ -338,7 +333,7 @@ class JacobiFunctor(_Functor):
         inside = geo.interior_mask(idx)
         i = idx[inside]
         e, n = geo.east, geo.north
-        diag = 1.0 + self.kx[i + e] + self.kx[i] + self.ky[i + n] + self.ky[i]
+        diag = flat_diag(i, self.kx, self.ky, e, n)
         self.u[i] = (
             self.u0[i]
             + self.kx[i + e] * self.un[i + e]
@@ -404,6 +399,10 @@ class KokkosPort(Port):
 
     model_name = "kokkos"
 
+    #: Functor launches are plain parallel dispatches with no implicit
+    #: fences between them, so the plan compiler may fuse adjacent ones.
+    supports_fusion = True
+
     def __init__(
         self,
         grid: Grid2D,
@@ -453,16 +452,14 @@ class KokkosPort(Port):
         return self.views[name].data
 
     # ------------------------------------------------------------------ #
-    def set_field(self) -> None:
-        self._launch("set_field")
+    def _k_set_field(self) -> None:
         deep_copy(self.views[F.ENERGY1], self.views[F.ENERGY0])
 
-    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+    def _k_tea_leaf_init(self, dt: float, coefficient: str) -> None:
         g = self.grid
         self._rx = dt / (g.dx * g.dx)
         self._ry = dt / (g.dy * g.dy)
         v = self.views
-        self._launch("tea_leaf_init")
         parallel_for(
             self._policy,
             TeaLeafInitFunctor(
@@ -472,17 +469,15 @@ class KokkosPort(Port):
             ),
         )
 
-    def tea_leaf_residual(self) -> None:
+    def _k_tea_leaf_residual(self) -> None:
         v = self.views
-        self._launch("tea_leaf_residual")
         parallel_for(
             self._policy,
             ResidualFunctor(self.geo, v[F.R], v[F.U0], v[F.U], v[F.KX], v[F.KY]),
         )
 
-    def cg_init(self) -> float:
+    def _k_cg_init(self) -> float:
         v = self.views
-        self._launch("cg_init")
         return parallel_reduce(
             self._policy,
             CGInitFunctor(
@@ -491,37 +486,32 @@ class KokkosPort(Port):
             reducer=self._sum,
         )
 
-    def cg_calc_w(self) -> float:
+    def _k_cg_calc_w(self) -> float:
         v = self.views
-        self._launch("cg_calc_w")
         return parallel_reduce(
             self._policy,
             CGCalcWFunctor(self.geo, v[F.P], v[F.W], v[F.KX], v[F.KY]),
             reducer=self._sum,
         )
 
-    def cg_calc_ur(self, alpha: float) -> float:
+    def _k_cg_calc_ur(self, alpha: float) -> float:
         v = self.views
-        self._launch("cg_calc_ur")
         return parallel_reduce(
             self._policy,
             CGCalcURFunctor(self.geo, v[F.U], v[F.R], v[F.P], v[F.W], alpha),
             reducer=self._sum,
         )
 
-    def cg_calc_p(self, beta: float) -> None:
+    def _k_cg_calc_p(self, beta: float) -> None:
         v = self.views
-        self._launch("cg_calc_p")
         parallel_for(self._policy, AxpyFunctor(self.geo, v[F.P], v[F.R], beta))
 
-    def ppcg_calc_p(self, beta: float) -> None:
+    def _k_ppcg_calc_p(self, beta: float) -> None:
         v = self.views
-        self._launch("cg_calc_p")
         parallel_for(self._policy, AxpyFunctor(self.geo, v[F.P], v[F.Z], beta))
 
-    def cheby_init(self, theta: float) -> None:
+    def _k_cheby_init(self, theta: float) -> None:
         v = self.views
-        self._launch("cheby_init")
         parallel_for(
             self._policy,
             ChebyInitFunctor(
@@ -529,9 +519,8 @@ class KokkosPort(Port):
             ),
         )
 
-    def cheby_iterate(self, alpha: float, beta: float) -> None:
+    def _k_cheby_iterate(self, alpha: float, beta: float) -> None:
         v = self.views
-        self._launch("cheby_iterate")
         parallel_for(
             self._policy,
             ChebyIterateRFunctor(self.geo, v[F.R], v[F.SD], v[F.KX], v[F.KY]),
@@ -541,17 +530,15 @@ class KokkosPort(Port):
             ChebyIterateSDFunctor(self.geo, v[F.SD], v[F.R], v[F.U], alpha, beta),
         )
 
-    def ppcg_precon_init(self, theta: float) -> None:
+    def _k_ppcg_precon_init(self, theta: float) -> None:
         v = self.views
-        self._launch("ppcg_precon_init")
         parallel_for(
             self._policy,
             PPCGPreconInitFunctor(self.geo, v[F.W], v[F.SD], v[F.Z], v[F.R], theta),
         )
 
-    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
+    def _k_ppcg_precon_inner(self, alpha: float, beta: float) -> None:
         v = self.views
-        self._launch("ppcg_inner")
         parallel_for(
             self._policy,
             ChebyIterateRFunctor(self.geo, v[F.W], v[F.SD], v[F.KX], v[F.KY]),
@@ -561,53 +548,45 @@ class KokkosPort(Port):
             ChebyIterateSDFunctor(self.geo, v[F.SD], v[F.W], v[F.Z], alpha, beta),
         )
 
-    def cg_precon_jacobi(self) -> None:
+    def _k_cg_precon_jacobi(self) -> None:
         v = self.views
-        self._launch("cg_precon")
         parallel_for(
             self._policy,
             CGPreconFunctor(self.geo, v[F.Z], v[F.R], v[F.KX], v[F.KY]),
         )
 
-    def jacobi_iterate(self) -> float:
+    def _k_jacobi_iterate(self) -> float:
         v = self.views
-        self.copy_field(F.U, F.R)
-        self._launch("jacobi_iterate")
         return parallel_reduce(
             self._policy,
             JacobiFunctor(self.geo, v[F.U], v[F.R], v[F.U0], v[F.KX], v[F.KY]),
             reducer=self._sum,
         )
 
-    def norm2_field(self, name: str) -> float:
+    def _k_norm2_field(self, name: str) -> float:
         v = self.views
-        self._launch("norm2")
         return parallel_reduce(
             self._policy, DotFunctor(self.geo, v[name], v[name]), reducer=self._sum
         )
 
-    def dot_fields(self, a: str, b: str) -> float:
+    def _k_dot_fields(self, a: str, b: str) -> float:
         v = self.views
-        self._launch("dot_product")
         return parallel_reduce(
             self._policy, DotFunctor(self.geo, v[a], v[b]), reducer=self._sum
         )
 
-    def copy_field(self, src: str, dst: str) -> None:
-        self._launch("copy_field")
+    def _k_copy_field(self, src: str, dst: str) -> None:
         deep_copy(self.views[dst], self.views[src])
 
-    def tea_leaf_finalise(self) -> None:
+    def _k_tea_leaf_finalise(self) -> None:
         v = self.views
-        self._launch("tea_leaf_finalise")
         parallel_for(
             self._policy,
             FinaliseFunctor(self.geo, v[F.ENERGY1], v[F.U], v[F.DENSITY]),
         )
 
-    def field_summary(self) -> tuple[float, float, float, float]:
+    def _k_field_summary(self) -> tuple[float, float, float, float]:
         v = self.views
-        self._launch("field_summary")
         return parallel_reduce(
             self._policy,
             FieldSummaryFunctor(
@@ -647,20 +626,15 @@ class KokkosHPPort(KokkosPort):
         I, Ip = self._row(member), self._row(member, 1)
         Im = self._row(member, -1)
         J, Jp, Jm = self._cols(), self._cols(1), self._cols(-1)
-        return (
-            (1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J]) * d[I, J]
-            - (kx[I, Jp] * d[I, Jp] + kx[I, J] * d[I, Jm])
-            - (ky[Ip, J] * d[Ip, J] + ky[I, J] * d[Im, J])
-        )
+        return row_matvec(d, kx, ky, I, Im, Ip, J, Jm, Jp)
 
     # overridden performance-critical kernels ------------------------------
-    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+    def _k_tea_leaf_init(self, dt: float, coefficient: str) -> None:
         g = self.grid
         self._rx = dt / (g.dx * g.dx)
         self._ry = dt / (g.dy * g.dy)
         recip = coefficient == "recip_conductivity"
         v = self.views
-        self._launch("tea_leaf_init")
 
         def team_body(member: TeamMember) -> None:
             I, Im = self._row(member), self._row(member, -1)
@@ -683,9 +657,8 @@ class KokkosHPPort(KokkosPort):
         v[F.KX].data[:, h] = 0.0
         v[F.KY].data[h, :] = 0.0
 
-    def tea_leaf_residual(self) -> None:
+    def _k_tea_leaf_residual(self) -> None:
         v = self.views
-        self._launch("tea_leaf_residual")
 
         def team_body(member: TeamMember) -> None:
             I, J = self._row(member), self._cols()
@@ -693,9 +666,8 @@ class KokkosHPPort(KokkosPort):
 
         parallel_for(self._team_policy, team_body)
 
-    def cg_init(self) -> float:
+    def _k_cg_init(self) -> float:
         v = self.views
-        self._launch("cg_init")
 
         def team_body(member: TeamMember) -> np.ndarray:
             I, J = self._row(member), self._cols()
@@ -707,9 +679,8 @@ class KokkosHPPort(KokkosPort):
 
         return parallel_reduce(self._team_policy, team_body, reducer=Sum())
 
-    def cg_calc_w(self) -> float:
+    def _k_cg_calc_w(self) -> float:
         v = self.views
-        self._launch("cg_calc_w")
 
         def team_body(member: TeamMember) -> np.ndarray:
             I, J = self._row(member), self._cols()
@@ -718,9 +689,8 @@ class KokkosHPPort(KokkosPort):
 
         return parallel_reduce(self._team_policy, team_body, reducer=Sum())
 
-    def cg_calc_ur(self, alpha: float) -> float:
+    def _k_cg_calc_ur(self, alpha: float) -> float:
         v = self.views
-        self._launch("cg_calc_ur")
 
         def team_body(member: TeamMember) -> np.ndarray:
             I, J = self._row(member), self._cols()
@@ -731,15 +701,14 @@ class KokkosHPPort(KokkosPort):
 
         return parallel_reduce(self._team_policy, team_body, reducer=Sum())
 
-    def cg_calc_p(self, beta: float) -> None:
-        self._hp_axpy(F.P, F.R, beta, "cg_calc_p")
+    def _k_cg_calc_p(self, beta: float) -> None:
+        self._hp_axpy(F.P, F.R, beta)
 
-    def ppcg_calc_p(self, beta: float) -> None:
-        self._hp_axpy(F.P, F.Z, beta, "cg_calc_p")
+    def _k_ppcg_calc_p(self, beta: float) -> None:
+        self._hp_axpy(F.P, F.Z, beta)
 
-    def _hp_axpy(self, dst: str, src: str, scale: float, kernel: str) -> None:
+    def _hp_axpy(self, dst: str, src: str, scale: float) -> None:
         v = self.views
-        self._launch(kernel)
 
         def team_body(member: TeamMember) -> None:
             I, J = self._row(member), self._cols()
@@ -747,9 +716,8 @@ class KokkosHPPort(KokkosPort):
 
         parallel_for(self._team_policy, team_body)
 
-    def cheby_init(self, theta: float) -> None:
+    def _k_cheby_init(self, theta: float) -> None:
         v = self.views
-        self._launch("cheby_init")
 
         def team_body(member: TeamMember) -> None:
             I, J = self._row(member), self._cols()
@@ -765,17 +733,16 @@ class KokkosHPPort(KokkosPort):
 
         parallel_for(self._team_policy, team_u)
 
-    def cheby_iterate(self, alpha: float, beta: float) -> None:
-        self._hp_cheby_sweeps(F.R, F.U, alpha, beta, "cheby_iterate")
+    def _k_cheby_iterate(self, alpha: float, beta: float) -> None:
+        self._hp_cheby_sweeps(F.R, F.U, alpha, beta)
 
-    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
-        self._hp_cheby_sweeps(F.W, F.Z, alpha, beta, "ppcg_inner")
+    def _k_ppcg_precon_inner(self, alpha: float, beta: float) -> None:
+        self._hp_cheby_sweeps(F.W, F.Z, alpha, beta)
 
     def _hp_cheby_sweeps(
-        self, resid: str, accum: str, alpha: float, beta: float, kernel: str
+        self, resid: str, accum: str, alpha: float, beta: float
     ) -> None:
         v = self.views
-        self._launch(kernel)
 
         def sweep_r(member: TeamMember) -> None:
             I, J = self._row(member), self._cols()
@@ -791,9 +758,8 @@ class KokkosHPPort(KokkosPort):
 
         parallel_for(self._team_policy, sweep_sd)
 
-    def ppcg_precon_init(self, theta: float) -> None:
+    def _k_ppcg_precon_init(self, theta: float) -> None:
         v = self.views
-        self._launch("ppcg_precon_init")
 
         def team_body(member: TeamMember) -> None:
             I, J = self._row(member), self._cols()
@@ -804,16 +770,14 @@ class KokkosHPPort(KokkosPort):
 
         parallel_for(self._team_policy, team_body)
 
-    def cg_precon_jacobi(self) -> None:
+    def _k_cg_precon_jacobi(self) -> None:
         v = self.views
-        self._launch("cg_precon")
 
         def team_body(member: TeamMember) -> None:
             I, Ip = self._row(member), self._row(member, 1)
             J, Jp = self._cols(), self._cols(1)
             kx, ky = v[F.KX].data, v[F.KY].data
-            diag = 1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J]
-            v[F.Z].data[I, J] = v[F.R].data[I, J] / diag
+            v[F.Z].data[I, J] = v[F.R].data[I, J] / row_diag(kx, ky, I, Ip, J, Jp)
 
         parallel_for(self._team_policy, team_body)
 

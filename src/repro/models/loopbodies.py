@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.models.stencil import row_diag, row_matvec
+
 
 def _rows(h: int, r0: int, r1: int, dk: int = 0) -> slice:
     return slice(h + r0 + dk, h + r1 + dk)
@@ -49,11 +51,7 @@ def matvec_slab(
     Jm = _cols(h, nx, -1)
     Ip = _rows(h, r0, r1, 1)
     Im = _rows(h, r0, r1, -1)
-    out[I, J] = (
-        (1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J]) * v[I, J]
-        - (kx[I, Jp] * v[I, Jp] + kx[I, J] * v[I, Jm])
-        - (ky[Ip, J] * v[Ip, J] + ky[I, J] * v[Im, J])
-    )
+    out[I, J] = row_matvec(v, kx, ky, I, Im, Ip, J, Jm, Jp)
 
 
 def tea_leaf_init_slab(
@@ -301,7 +299,7 @@ def cg_precon_slab(
     J = _cols(h, nx)
     Jp = _cols(h, nx, 1)
     Ip = _rows(h, r0, r1, 1)
-    z[I, J] = r[I, J] / (1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J])
+    z[I, J] = r[I, J] / row_diag(kx, ky, I, Ip, J, Jp)
 
 
 def jacobi_iterate_slab(
@@ -322,7 +320,7 @@ def jacobi_iterate_slab(
     Jm = _cols(h, nx, -1)
     Ip = _rows(h, r0, r1, 1)
     Im = _rows(h, r0, r1, -1)
-    diag = 1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J]
+    diag = row_diag(kx, ky, I, Ip, J, Jp)
     u[I, J] = (
         u0[I, J]
         + kx[I, Jp] * un[I, Jp]

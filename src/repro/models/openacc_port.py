@@ -33,6 +33,11 @@ from repro.util.errors import ModelError
 class OpenACCPort(OpenMP3Port):
     """OpenMP C loop bodies under OpenACC data/kernels directives."""
 
+    #: Every kernel is its own acc kernels region (a sync fence); the data
+    #: region is real, so no fusion and no barrier hoisting.
+    supports_fusion = False
+    has_data_region = True
+
     def __init__(self, grid: Grid2D, trace: Trace | None = None) -> None:
         super().__init__(grid, trace, dialect="f90")
         self.model_name = "openacc"
@@ -48,11 +53,19 @@ class OpenACCPort(OpenMP3Port):
 
     def begin_solve(self) -> None:
         if self._data_region is not None:
+            if self._residency_enabled:
+                # Persistent region: still open from the previous step.
+                return
             raise ModelError("acc data region is already open")
         hf = self._host_fields
+        copyin = {F.DENSITY: hf[F.DENSITY]}
+        if self._residency_enabled:
+            # set_field runs inside the held-open region on later steps and
+            # reads energy0, so the persistent region must map it.
+            copyin[F.ENERGY0] = hf[F.ENERGY0]
         region = AccDataRegion(
             self.env,
-            copyin={F.DENSITY: hf[F.DENSITY]},
+            copyin=copyin,
             copy={F.ENERGY1: hf[F.ENERGY1], F.U: hf[F.U]},
             create={name: hf[name] for name in _ALLOC_FIELDS},
         )
@@ -62,11 +75,14 @@ class OpenACCPort(OpenMP3Port):
     def end_solve(self) -> None:
         if self._data_region is None:
             raise ModelError("no open acc data region")
+        if self._residency_enabled:
+            # Keep data resident across steps; host reads use acc update.
+            return
         self._data_region.__exit__(None, None, None)
         self._data_region = None
 
-    def _launch(self, kernel_name: str, cells: int | None = None):
-        spec = super()._launch(kernel_name, cells)
+    def _launch(self, kernel_name: str, cells: int | None = None, spec=None):
+        spec = super()._launch(kernel_name, cells, spec)
         if self._data_region is not None:
             self.trace.region(f"acc_kernels:{kernel_name}")
         return spec

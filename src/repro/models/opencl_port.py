@@ -31,6 +31,7 @@ from repro.models.opencl.platform import DeviceType, find_device
 from repro.models.opencl.program import Program
 from repro.models.opencl.runtime import Buffer, CommandQueue, Context, MemFlags
 from repro.models.reduction import combine_partials
+from repro.models.stencil import decode_interior, flat_diag, flat_matvec
 from repro.models.tracing import Trace, TransferDirection
 from repro.util.errors import ModelError
 
@@ -40,19 +41,11 @@ from repro.util.errors import ModelError
 # --------------------------------------------------------------------- #
 def _decode(gid, n, pitch, h, nx):
     """Overspill guard + interior flat-index computation."""
-    valid = gid < n
-    c = gid[valid]
-    k = c // nx + h
-    j = c % nx + h
-    return valid, k * pitch + j, j, k
+    return decode_interior(gid, n, pitch, h, nx)
 
 
 def _matvec(i, v, kx, ky, pitch):
-    return (
-        (1.0 + kx[i + 1] + kx[i] + ky[i + pitch] + ky[i]) * v[i]
-        - (kx[i + 1] * v[i + 1] + kx[i] * v[i - 1])
-        - (ky[i + pitch] * v[i + pitch] + ky[i] * v[i - pitch])
-    )
+    return flat_matvec(i, v, kx, ky, 1, pitch)
 
 
 def k_set_field(gid, n, pitch, h, nx, energy0, energy1):
@@ -143,13 +136,12 @@ def k_ppcg_precon_init(gid, n, pitch, h, nx, theta, w, sd, z, r):
 
 def k_cg_precon(gid, n, pitch, h, nx, z, r, kx, ky):
     _, i, _, _ = _decode(gid, n, pitch, h, nx)
-    diag = 1.0 + kx[i + 1] + kx[i] + ky[i + pitch] + ky[i]
-    z[i] = r[i] / diag
+    z[i] = r[i] / flat_diag(i, kx, ky, 1, pitch)
 
 
 def k_jacobi(gid, n, pitch, h, nx, u, un, u0, kx, ky):
     valid, i, _, _ = _decode(gid, n, pitch, h, nx)
-    diag = 1.0 + kx[i + 1] + kx[i] + ky[i + pitch] + ky[i]
+    diag = flat_diag(i, kx, ky, 1, pitch)
     u[i] = (
         u0[i]
         + kx[i + 1] * un[i + 1]
@@ -222,9 +214,14 @@ LOCAL_SIZE = 128
 
 
 class OpenCLPort(Port):
-    """TeaLeaf through the full OpenCL host API."""
+    """TeaLeaf through the full OpenCL host API.
+
+    Fusable: adjacent elementwise bodies enqueue as one ND-range over the
+    same flattened index space.
+    """
 
     model_name = "opencl"
+    supports_fusion = True
 
     def __init__(
         self,
@@ -279,14 +276,20 @@ class OpenCLPort(Port):
         self.queue.enqueue_write_buffer(self.buffers[F.DENSITY], density)
         self.queue.enqueue_write_buffer(self.buffers[F.ENERGY0], energy0)
         self._launch("generate_chunk")
+        self._mark_dirty(F.FIELD_ORDER)
 
     def read_field(self, name: str) -> np.ndarray:
+        mirror = self._mirror_clean(name)
+        if mirror is not None:
+            return mirror.copy()
         host = np.zeros(self.grid.shape)
         self.queue.enqueue_read_buffer(self.buffers[name], host)
+        self._mirror_store(name, host)
         return host
 
     def write_field(self, name: str, values: np.ndarray) -> None:
         self.queue.enqueue_write_buffer(self.buffers[name], values)
+        self._mark_dirty((name,))
 
     def _device_array(self, name: str) -> np.ndarray:
         return self.buffers[name].device_view.reshape(self._rows, self._pitch)
@@ -333,16 +336,14 @@ class OpenCLPort(Port):
     # ------------------------------------------------------------------ #
     # the kernel set
     # ------------------------------------------------------------------ #
-    def set_field(self) -> None:
-        self._launch("set_field")
+    def _k_set_field(self) -> None:
         self._run("set_field", self.buffers[F.ENERGY0], self.buffers[F.ENERGY1])
 
-    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+    def _k_tea_leaf_init(self, dt: float, coefficient: str) -> None:
         g = self.grid
         self._rx = dt / (g.dx * g.dx)
         self._ry = dt / (g.dy * g.dy)
         b = self.buffers
-        self._launch("tea_leaf_init")
         self._run(
             "tea_leaf_init",
             self._rx,
@@ -356,80 +357,64 @@ class OpenCLPort(Port):
             b[F.KY],
         )
 
-    def tea_leaf_residual(self) -> None:
+    def _k_tea_leaf_residual(self) -> None:
         b = self.buffers
-        self._launch("tea_leaf_residual")
         self._run("residual", b[F.R], b[F.U0], b[F.U], b[F.KX], b[F.KY])
 
-    def cg_init(self) -> float:
+    def _k_cg_init(self) -> float:
         b = self.buffers
-        self._launch("cg_init")
         return self._run_reduce(
             "cg_init", b[F.U], b[F.U0], b[F.W], b[F.R], b[F.P], b[F.KX], b[F.KY]
         )
 
-    def cg_calc_w(self) -> float:
+    def _k_cg_calc_w(self) -> float:
         b = self.buffers
-        self._launch("cg_calc_w")
         return self._run_reduce("cg_calc_w", b[F.P], b[F.W], b[F.KX], b[F.KY])
 
-    def cg_calc_ur(self, alpha: float) -> float:
+    def _k_cg_calc_ur(self, alpha: float) -> float:
         b = self.buffers
-        self._launch("cg_calc_ur")
         return self._run_reduce("cg_calc_ur", alpha, b[F.U], b[F.R], b[F.P], b[F.W])
 
-    def cg_calc_p(self, beta: float) -> None:
-        self._launch("cg_calc_p")
+    def _k_cg_calc_p(self, beta: float) -> None:
         self._run("axpy", beta, self.buffers[F.P], self.buffers[F.R])
 
-    def ppcg_calc_p(self, beta: float) -> None:
-        self._launch("cg_calc_p")
+    def _k_ppcg_calc_p(self, beta: float) -> None:
         self._run("axpy", beta, self.buffers[F.P], self.buffers[F.Z])
 
-    def cheby_init(self, theta: float) -> None:
+    def _k_cheby_init(self, theta: float) -> None:
         b = self.buffers
-        self._launch("cheby_init")
         self._run("cheby_init", theta, b[F.U], b[F.U0], b[F.R], b[F.SD], b[F.KX], b[F.KY])
         self._run("add", b[F.U], b[F.SD])
 
-    def cheby_iterate(self, alpha: float, beta: float) -> None:
+    def _k_cheby_iterate(self, alpha: float, beta: float) -> None:
         b = self.buffers
-        self._launch("cheby_iterate")
         self._run("cheby_calc_r", b[F.R], b[F.SD], b[F.KX], b[F.KY])
         self._run("cheby_calc_sd_u", alpha, beta, b[F.SD], b[F.R], b[F.U])
 
-    def ppcg_precon_init(self, theta: float) -> None:
+    def _k_ppcg_precon_init(self, theta: float) -> None:
         b = self.buffers
-        self._launch("ppcg_precon_init")
         self._run("ppcg_precon_init", theta, b[F.W], b[F.SD], b[F.Z], b[F.R])
 
-    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
+    def _k_ppcg_precon_inner(self, alpha: float, beta: float) -> None:
         b = self.buffers
-        self._launch("ppcg_inner")
         self._run("cheby_calc_r", b[F.W], b[F.SD], b[F.KX], b[F.KY])
         self._run("cheby_calc_sd_u", alpha, beta, b[F.SD], b[F.W], b[F.Z])
 
-    def cg_precon_jacobi(self) -> None:
+    def _k_cg_precon_jacobi(self) -> None:
         b = self.buffers
-        self._launch("cg_precon")
         self._run("cg_precon", b[F.Z], b[F.R], b[F.KX], b[F.KY])
 
-    def jacobi_iterate(self) -> float:
+    def _k_jacobi_iterate(self) -> float:
         b = self.buffers
-        self.copy_field(F.U, F.R)
-        self._launch("jacobi_iterate")
         return self._run_reduce("jacobi", b[F.U], b[F.R], b[F.U0], b[F.KX], b[F.KY])
 
-    def norm2_field(self, name: str) -> float:
-        self._launch("norm2")
+    def _k_norm2_field(self, name: str) -> float:
         return self._run_reduce("dot", self.buffers[name], self.buffers[name])
 
-    def dot_fields(self, a: str, b: str) -> float:
-        self._launch("dot_product")
+    def _k_dot_fields(self, a: str, b: str) -> float:
         return self._run_reduce("dot", self.buffers[a], self.buffers[b])
 
-    def copy_field(self, src: str, dst: str) -> None:
-        self._launch("copy_field")
+    def _k_copy_field(self, src: str, dst: str) -> None:
         kernel = self.kernels["copy"]
         total = self._pitch * self._rows
         kernel.set_arg(0, total)
@@ -439,14 +424,12 @@ class OpenCLPort(Port):
             kernel, self._round_up(total), self.local_size, scalar=False
         )
 
-    def tea_leaf_finalise(self) -> None:
+    def _k_tea_leaf_finalise(self) -> None:
         b = self.buffers
-        self._launch("tea_leaf_finalise")
         self._run("finalise", b[F.ENERGY1], b[F.U], b[F.DENSITY])
 
-    def field_summary(self) -> tuple[float, float, float, float]:
+    def _k_field_summary(self) -> tuple[float, float, float, float]:
         b = self.buffers
-        self._launch("field_summary")
         terms = []
         for mode in range(4):
             terms.append(

@@ -35,7 +35,15 @@ from repro.util.errors import ModelError
 
 
 class OpenMP3Port(Port):
-    """Host-resident TeaLeaf with fork-join row parallelism."""
+    """Host-resident TeaLeaf with fork-join row parallelism.
+
+    The kernel set is expressed as ``_k_*`` primitives over the shared
+    OpenMP-C loop bodies; dispatch, tracing and residency bookkeeping live
+    in :class:`Port`.  Elementwise kernels may be fused: the fork-join
+    model happily runs several loop bodies per parallel region.
+    """
+
+    supports_fusion = True
 
     def __init__(
         self,
@@ -89,10 +97,9 @@ class OpenMP3Port(Port):
     # ------------------------------------------------------------------ #
     # kernels
     # ------------------------------------------------------------------ #
-    def set_field(self) -> None:
+    def _k_set_field(self) -> None:
         e0, e1 = self.fields[F.ENERGY0], self.fields[F.ENERGY1]
         h, nx = self.h, self.grid.nx
-        self._launch("set_field")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: e1.__setitem__(
@@ -101,13 +108,12 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+    def _k_tea_leaf_init(self, dt: float, coefficient: str) -> None:
         g = self.grid
         self._rx = dt / (g.dx * g.dx)
         self._ry = dt / (g.dy * g.dy)
         recip = coefficient == ops.RECIP_CONDUCTIVITY
         f = self.fields
-        self._launch("tea_leaf_init")
         self.omp.parallel_for(
             g.ny,
             lambda r0, r1: lb.tea_leaf_init_slab(
@@ -117,9 +123,8 @@ class OpenMP3Port(Port):
         )
         lb.zero_boundary_coefficients(f[F.KX], f[F.KY], self.h, g.nx, g.ny)
 
-    def tea_leaf_residual(self) -> None:
+    def _k_tea_leaf_residual(self) -> None:
         f = self.fields
-        self._launch("tea_leaf_residual")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.residual_slab(
@@ -128,9 +133,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def cg_init(self) -> float:
+    def _k_cg_init(self) -> float:
         f = self.fields
-        self._launch("cg_init")
         return self.omp.parallel_reduce(
             self.grid.ny,
             lambda r0, r1: lb.cg_init_slab(
@@ -139,9 +143,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def cg_calc_w(self) -> float:
+    def _k_cg_calc_w(self) -> float:
         f = self.fields
-        self._launch("cg_calc_w")
         return self.omp.parallel_reduce(
             self.grid.ny,
             lambda r0, r1: lb.cg_calc_w_slab(
@@ -149,9 +152,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def cg_calc_ur(self, alpha: float) -> float:
+    def _k_cg_calc_ur(self, alpha: float) -> float:
         f = self.fields
-        self._launch("cg_calc_ur")
         return self.omp.parallel_reduce(
             self.grid.ny,
             lambda r0, r1: lb.cg_calc_ur_slab(
@@ -159,9 +161,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def cg_calc_p(self, beta: float) -> None:
+    def _k_cg_calc_p(self, beta: float) -> None:
         f = self.fields
-        self._launch("cg_calc_p")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.cg_calc_p_slab(
@@ -169,9 +170,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def cheby_init(self, theta: float) -> None:
+    def _k_cheby_init(self, theta: float) -> None:
         f = self.fields
-        self._launch("cheby_init")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.cheby_init_slab(
@@ -186,9 +186,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def cheby_iterate(self, alpha: float, beta: float) -> None:
+    def _k_cheby_iterate(self, alpha: float, beta: float) -> None:
         f = self.fields
-        self._launch("cheby_iterate")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.cheby_iterate_r_slab(
@@ -203,9 +202,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def ppcg_precon_init(self, theta: float) -> None:
+    def _k_ppcg_precon_init(self, theta: float) -> None:
         f = self.fields
-        self._launch("ppcg_precon_init")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.ppcg_precon_init_slab(
@@ -213,9 +211,7 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
-        f = self.fields
-        self._launch("ppcg_inner")
+    def _k_ppcg_precon_inner(self, alpha: float, beta: float) -> None:
         # Sweep 1: w -= A sd (the inner residual update).
         scratch = self._scratch()
         self.omp.parallel_for(
@@ -247,9 +243,8 @@ class OpenMP3Port(Port):
         f[F.SD][I, J] = alpha * f[F.SD][I, J] + beta * f[F.W][I, J]
         f[F.Z][I, J] += f[F.SD][I, J]
 
-    def ppcg_calc_p(self, beta: float) -> None:
+    def _k_ppcg_calc_p(self, beta: float) -> None:
         f = self.fields
-        self._launch("cg_calc_p")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.cg_calc_p_slab(
@@ -257,9 +252,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def cg_precon_jacobi(self) -> None:
+    def _k_cg_precon_jacobi(self) -> None:
         f = self.fields
-        self._launch("cg_precon")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.cg_precon_slab(
@@ -267,10 +261,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def jacobi_iterate(self) -> float:
+    def _k_jacobi_iterate(self) -> float:
         f = self.fields
-        self.copy_field(F.U, F.R)  # R holds the previous iterate
-        self._launch("jacobi_iterate")
         return self.omp.parallel_reduce(
             self.grid.ny,
             lambda r0, r1: lb.jacobi_iterate_slab(
@@ -279,10 +271,9 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def norm2_field(self, name: str) -> float:
+    def _k_norm2_field(self, name: str) -> float:
         a = self.fields[name]
         h, nx = self.h, self.grid.nx
-        self._launch("norm2")
         return self.omp.parallel_reduce(
             self.grid.ny,
             lambda r0, r1: (
@@ -290,10 +281,9 @@ class OpenMP3Port(Port):
             ).ravel(),
         )
 
-    def dot_fields(self, name_a: str, name_b: str) -> float:
+    def _k_dot_fields(self, name_a: str, name_b: str) -> float:
         a, b = self.fields[name_a], self.fields[name_b]
         h, nx = self.h, self.grid.nx
-        self._launch("dot_product")
         return self.omp.parallel_reduce(
             self.grid.ny,
             lambda r0, r1: (
@@ -301,17 +291,15 @@ class OpenMP3Port(Port):
             ).ravel(),
         )
 
-    def copy_field(self, src: str, dst: str) -> None:
+    def _k_copy_field(self, src: str, dst: str) -> None:
         s, d = self.fields[src], self.fields[dst]
-        self._launch("copy_field")
         self.omp.parallel_for(
             s.shape[0],
             lambda r0, r1: d.__setitem__(slice(r0, r1), s[r0:r1]),
         )
 
-    def tea_leaf_finalise(self) -> None:
+    def _k_tea_leaf_finalise(self) -> None:
         f = self.fields
-        self._launch("tea_leaf_finalise")
         self.omp.parallel_for(
             self.grid.ny,
             lambda r0, r1: lb.finalise_slab(
@@ -319,9 +307,8 @@ class OpenMP3Port(Port):
             ),
         )
 
-    def field_summary(self) -> tuple[float, float, float, float]:
+    def _k_field_summary(self) -> tuple[float, float, float, float]:
         f = self.fields
-        self._launch("field_summary")
         vol, mass, ie, temp = self.omp.parallel_reduce_multi(
             self.grid.ny,
             lambda r0, r1: lb.field_summary_slab(

@@ -58,6 +58,11 @@ class OpenMP4Port(OpenMP3Port):
     #: Region label; the 4.5 subclass switches to the nowait form.
     _region_label = "target"
 
+    #: Each launch is a synchronous target region — a hard fence the plan
+    #: compiler must respect, so no fusion across this port.
+    supports_fusion = False
+    has_data_region = True
+
     def __init__(self, grid: Grid2D, trace: Trace | None = None) -> None:
         super().__init__(grid, trace, dialect="f90")
         self.model_name = "openmp4"
@@ -75,13 +80,22 @@ class OpenMP4Port(OpenMP3Port):
 
     def begin_solve(self) -> None:
         if self._data_region is not None:
+            if self._residency_enabled:
+                # Persistent region: still open from the previous step.
+                return
             raise ModelError("solve target data region is already open")
         hf = self._host_fields
+        # density is read-only on the device; energy1 and u are both
+        # produced on the device and consumed by the host summary.
+        map_to = {F.DENSITY: hf[F.DENSITY]}
+        if self._residency_enabled:
+            # With the region held open across steps, set_field runs inside
+            # it on every step after the first, so its read-only input must
+            # be mapped too.
+            map_to[F.ENERGY0] = hf[F.ENERGY0]
         region = TargetDataRegion(
             self.env,
-            # density is read-only on the device; energy1 and u are both
-            # produced on the device and consumed by the host summary.
-            map_to={F.DENSITY: hf[F.DENSITY]},
+            map_to=map_to,
             map_tofrom={F.ENERGY1: hf[F.ENERGY1], F.U: hf[F.U]},
             map_alloc={name: hf[name] for name in _ALLOC_FIELDS},
         )
@@ -91,14 +105,18 @@ class OpenMP4Port(OpenMP3Port):
     def end_solve(self) -> None:
         if self._data_region is None:
             raise ModelError("no open solve target data region")
+        if self._residency_enabled:
+            # Residency tracking hoists the data region above the timestep
+            # loop: leave it open, host reads go through target update.
+            return
         self._data_region.__exit__(None, None, None)
         self._data_region = None
 
     # ------------------------------------------------------------------ #
     # every kernel launch inside the data region is one target region
     # ------------------------------------------------------------------ #
-    def _launch(self, kernel_name: str, cells: int | None = None):
-        spec = super()._launch(kernel_name, cells)
+    def _launch(self, kernel_name: str, cells: int | None = None, spec=None):
+        spec = super()._launch(kernel_name, cells, spec)
         if self._data_region is not None:
             self.trace.region(f"{self._region_label}:{kernel_name}")
         return spec

@@ -1,0 +1,537 @@
+"""The kernel-plan IR: declarative solver call sequences over the ports.
+
+The paper's central observation is that all models run *the same solver
+logic* and differ only in how each wraps kernel dispatch, data residency,
+and reductions.  This module makes that shared structure explicit: solvers
+build :class:`Plan` objects — flat sequences of kernel calls, halo
+exchanges, and scalar recurrences — and a :class:`PlanExecutor` replays
+them against any port.  Each port then needs only a table of ``_k_*``
+primitives plus a residency adapter (see ``models/base.py``); the ~20
+imperative per-port kernel methods collapse into the shared dispatch core.
+
+Because the plan knows, per operation, which fields are read (and which of
+those through the 5-point stencil), which are written, and whether a global
+reduction is involved, it is the single surface for cross-model
+optimisation:
+
+* **Fusion** (``Plan.compiled(fuse=True)``): adjacent fusable kernels whose
+  stencil reads do not overlap earlier writes in the group are merged into
+  one :class:`FusedGroup`, dispatched as a single traversal.  Reductions
+  stay on the canonical ``deterministic_sum`` path and the member bodies
+  run in original order, so results are bitwise-identical to the unfused
+  plan.
+* **Residency tracking**: executed plans report written fields to the
+  port's dirty-set adapter, letting offload ports elide redundant
+  host<->device transfers (see ``Port.enable_residency_tracking``).
+
+``python -m repro plan --model M --solver S`` dumps the compiled plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.kernels import KERNELS, KernelSpec
+from repro.util.errors import CorruptionError
+
+
+def check_finite(name: str, value: float) -> float:
+    """Scalar corruption guard shared by solvers and the executor.
+
+    NaN/Inf must never propagate silently out of a reduction; the message
+    matches the historical ``Solver._finite`` wording so resilience tests
+    keyed on it keep passing.
+    """
+    if not math.isfinite(value):
+        raise CorruptionError(f"non-finite solver scalar {name} = {value!r}")
+    return value
+
+
+# --------------------------------------------------------------------- #
+# the operation table
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OpSpec:
+    """Dataflow facts for one port-level operation.
+
+    ``kernel`` names the :data:`repro.core.kernels.KERNELS` entry traced
+    for the launch.  ``reads``/``writes`` are the statically-known fields;
+    ``stencil_reads`` is the subset of reads that go through the 5-point
+    neighbourhood (the fusion legality test only cares about those —
+    same-cell reads of a field written earlier in a fused traversal see
+    the updated value in every port, exactly as in the unfused sequence).
+    Operations whose field arguments arrive at call time (``dot_fields``,
+    ``copy_field``...) declare them via ``reads_args``/``writes_arg``.
+    """
+
+    name: str
+    kernel: str
+    reads: tuple[str, ...] = ()
+    stencil_reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    fusable: bool = False
+    reduction: bool = False
+    #: Index into the call args naming a written field (copy_field's dst).
+    writes_arg: int | None = None
+    #: When True, every string arg names a field that is read.
+    reads_args: bool = False
+
+    def written(self, args: tuple[Any, ...]) -> tuple[str, ...]:
+        out = self.writes
+        if self.writes_arg is not None and self.writes_arg < len(args):
+            arg = args[self.writes_arg]
+            if isinstance(arg, str):
+                out = out + (arg,)
+        return out
+
+    def read_fields(self, args: tuple[Any, ...]) -> tuple[str, ...]:
+        out = self.reads
+        if self.reads_args:
+            out = out + tuple(a for a in args if isinstance(a, str))
+        return out
+
+    def spec(self) -> KernelSpec:
+        return KERNELS[self.kernel]
+
+
+def _op(name: str, **kw: Any) -> tuple[str, OpSpec]:
+    return name, OpSpec(name=name, kernel=kw.pop("kernel", name), **kw)
+
+
+from repro.core import fields as F  # noqa: E402  (table needs the names)
+
+#: Every port-level operation a plan may call, keyed by the public
+#: ``Port`` method name.  ``fusable=False`` marks operations whose bodies
+#: are multi-sweep (cheby/ppcg inner) or whose port implementations differ
+#: structurally (copy_field is a D2D memcpy on CUDA, a deep_copy on
+#: Kokkos) — fusing those would change trace structure per model.
+OPS: dict[str, OpSpec] = dict(
+    (
+        _op(
+            "set_field",
+            reads=(F.ENERGY0,),
+            writes=(F.ENERGY1,),
+            fusable=True,
+        ),
+        _op(
+            "tea_leaf_init",
+            reads=(F.DENSITY, F.ENERGY1),
+            stencil_reads=(F.DENSITY,),
+            writes=(F.U, F.U0, F.KX, F.KY),
+            fusable=True,
+        ),
+        _op(
+            "tea_leaf_residual",
+            reads=(F.U0, F.U, F.KX, F.KY),
+            stencil_reads=(F.U, F.KX, F.KY),
+            writes=(F.R,),
+            fusable=True,
+        ),
+        _op(
+            "cg_init",
+            reads=(F.U, F.U0, F.KX, F.KY),
+            stencil_reads=(F.U, F.KX, F.KY),
+            writes=(F.W, F.R, F.P),
+            reduction=True,
+            fusable=True,
+        ),
+        _op(
+            "cg_calc_w",
+            reads=(F.P, F.KX, F.KY),
+            stencil_reads=(F.P, F.KX, F.KY),
+            writes=(F.W,),
+            reduction=True,
+            fusable=True,
+        ),
+        _op(
+            "cg_calc_ur",
+            reads=(F.U, F.R, F.P, F.W),
+            writes=(F.U, F.R),
+            reduction=True,
+            fusable=True,
+        ),
+        _op("cg_calc_p", reads=(F.R, F.P), writes=(F.P,), fusable=True),
+        _op(
+            "cheby_init",
+            reads=(F.U, F.U0, F.KX, F.KY),
+            stencil_reads=(F.U, F.KX, F.KY),
+            writes=(F.R, F.SD, F.U),
+        ),
+        _op(
+            "cheby_iterate",
+            reads=(F.R, F.SD, F.U, F.KX, F.KY),
+            stencil_reads=(F.SD, F.KX, F.KY),
+            writes=(F.R, F.SD, F.U),
+        ),
+        _op(
+            "ppcg_precon_init",
+            reads=(F.R,),
+            writes=(F.W, F.SD, F.Z),
+            fusable=True,
+        ),
+        _op(
+            "ppcg_precon_inner",
+            kernel="ppcg_inner",
+            reads=(F.W, F.SD, F.Z, F.KX, F.KY),
+            stencil_reads=(F.SD, F.KX, F.KY),
+            writes=(F.W, F.SD, F.Z),
+        ),
+        _op(
+            "ppcg_calc_p",
+            kernel="cg_calc_p",
+            reads=(F.Z, F.P),
+            writes=(F.P,),
+            fusable=True,
+        ),
+        _op(
+            "cg_precon_jacobi",
+            kernel="cg_precon",
+            reads=(F.R, F.KX, F.KY),
+            stencil_reads=(F.KX, F.KY),
+            writes=(F.Z,),
+            fusable=True,
+        ),
+        _op(
+            "jacobi_iterate",
+            reads=(F.U, F.U0, F.KX, F.KY, F.R),
+            stencil_reads=(F.R, F.KX, F.KY),
+            writes=(F.U, F.R),
+            reduction=True,
+        ),
+        _op("norm2_field", kernel="norm2", reads_args=True, reduction=True, fusable=True),
+        _op(
+            "dot_fields",
+            kernel="dot_product",
+            reads_args=True,
+            reduction=True,
+            fusable=True,
+        ),
+        _op("copy_field", reads_args=True, writes_arg=1),
+        _op(
+            "tea_leaf_finalise",
+            reads=(F.U, F.DENSITY),
+            writes=(F.ENERGY1,),
+            fusable=True,
+        ),
+        _op(
+            "field_summary",
+            reads=(F.DENSITY, F.ENERGY1, F.U),
+            reduction=True,
+        ),
+    )
+)
+
+
+# --------------------------------------------------------------------- #
+# plan steps
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Bind:
+    """A late-bound scalar argument, resolved from the plan environment."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """One port operation: ``env[out] = port.<op>(*args)``."""
+
+    op: str
+    args: tuple[Any, ...] = ()
+    #: Environment key the (scalar) result is stored under, if any.
+    out: str | None = None
+    #: Apply the NaN/Inf corruption guard to the result.
+    finite: bool = False
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPS[self.op]
+
+
+@dataclass(frozen=True)
+class HaloStep:
+    """Reflective halo exchange on ``names`` to ``depth``."""
+
+    names: tuple[str, ...]
+    depth: int = 1
+
+
+@dataclass(frozen=True)
+class ScalarStep:
+    """Host-side scalar recurrence: ``env[out] = fn(env)``."""
+
+    out: str
+    fn: Callable[[Mapping[str, float]], float]
+    finite: bool = False
+
+
+@dataclass(frozen=True)
+class BarrierStep:
+    """A port lifecycle call (``begin_solve``/``end_solve``).
+
+    For host ports the data region is a no-op, so the compiler may hoist
+    the barrier across a fusion group (``transparent_barriers``); offload
+    ports keep it as a hard fence.
+    """
+
+    method: str
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """Adjacent fusable kernel calls dispatched as one traversal."""
+
+    calls: tuple[KernelCall, ...]
+
+
+Step = Any  # KernelCall | HaloStep | ScalarStep | BarrierStep | FusedGroup
+
+
+def fused_spec(calls: tuple[KernelCall, ...]) -> KernelSpec:
+    """Synthesised :class:`KernelSpec` for a fused traversal.
+
+    Costs follow the produced-set model: a field counts as a read only
+    when no earlier member of the group wrote it (it is already in
+    registers/cache for the fused loop body), writes are the union, flops
+    simply add.  The fused launch is traced under ``fused:<k1>+<k2>+...``.
+    """
+    readset: list[str] = []
+    writeset: list[str] = []
+    produced: set[str] = set()
+    flops = 0
+    reduction = False
+    for call in calls:
+        op = call.spec
+        for name in op.read_fields(call.args):
+            if name not in produced and name not in readset:
+                readset.append(name)
+        for name in op.written(call.args):
+            produced.add(name)
+            if name not in writeset:
+                writeset.append(name)
+        flops += op.spec().flops
+        reduction = reduction or op.spec().has_reduction
+    name = "fused:" + "+".join(OPS[c.op].kernel for c in calls)
+    first = calls[0].spec.spec()
+    return KernelSpec(
+        name=name,
+        cls=first.cls,
+        reads=len(readset),
+        writes=len(writeset),
+        flops=flops,
+        has_reduction=reduction,
+        description="fused elementwise traversal",
+    )
+
+
+# --------------------------------------------------------------------- #
+# the plan
+# --------------------------------------------------------------------- #
+def _can_fuse(group: list[KernelCall], cand: KernelCall) -> bool:
+    """True when ``cand`` may join ``group`` in one traversal.
+
+    Legality: no member's writes may feed the candidate's *stencil* reads
+    (neighbour cells would see updated values mid-traversal) and vice
+    versa; same-cell dataflow is safe because members run in order per
+    cell.  A candidate whose late-bound scalar (:class:`Bind`) is produced
+    by a group member's reduction must also stay out — the scalar does not
+    exist until the group completes.
+    """
+    spec = cand.spec
+    if not spec.fusable:
+        return False
+    cand_writes = set(spec.written(cand.args))
+    cand_stencil = set(spec.stencil_reads)
+    outs = {m.out for m in group if m.out is not None}
+    for m in group:
+        m_spec = m.spec
+        m_writes = set(m_spec.written(m.args))
+        if cand_stencil & m_writes:
+            return False
+        if set(m_spec.stencil_reads) & cand_writes:
+            return False
+    for arg in cand.args:
+        if isinstance(arg, Bind) and arg.key in outs:
+            return False
+    return True
+
+
+@dataclass
+class Plan:
+    """A named, immutable step sequence with cached compiled variants."""
+
+    name: str
+    steps: tuple[Step, ...]
+    _compiled: dict[tuple[bool, bool], list[Step]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def compiled(self, fuse: bool, transparent_barriers: bool = False) -> list[Step]:
+        """The executable step list, fused when ``fuse`` is set.
+
+        Compilation happens once per (fuse, transparency) pair and is
+        cached — CG/Chebyshev/PPCG inner loops replay the same compiled
+        list every iteration instead of rebuilding their call sequence.
+        """
+        key = (bool(fuse), bool(transparent_barriers))
+        cached = self._compiled.get(key)
+        if cached is None:
+            cached = self._compile(*key) if fuse else list(self.steps)
+            self._compiled[key] = cached
+        return cached
+
+    def _compile(self, fuse: bool, transparent: bool) -> list[Step]:
+        out: list[Step] = []
+        group: list[KernelCall] = []
+        hoisted: list[Step] = []
+
+        def flush() -> None:
+            out.extend(hoisted)
+            hoisted.clear()
+            if len(group) >= 2:
+                out.append(FusedGroup(tuple(group)))
+            else:
+                out.extend(group)
+            group.clear()
+
+        for step in self.steps:
+            if isinstance(step, KernelCall) and step.spec.fusable:
+                if group and not _can_fuse(group, step):
+                    flush()
+                group.append(step)
+            elif isinstance(step, BarrierStep) and transparent and group:
+                # Host ports: the data region is a no-op, so the barrier
+                # may cross the group without changing observable order.
+                hoisted.append(step)
+            else:
+                flush()
+                out.append(step)
+        flush()
+        return out
+
+    # ------------------------------------------------------------------ #
+    def describe(self, fuse: bool = False, transparent_barriers: bool = False) -> str:
+        """Human-readable dump (the ``repro plan`` CLI output)."""
+        lines = [f"plan {self.name} (fuse={'on' if fuse else 'off'}):"]
+        for step in self.compiled(fuse, transparent_barriers):
+            lines.append(f"  {render_step(step)}")
+        return "\n".join(lines)
+
+
+def _render_arg(arg: Any) -> str:
+    if isinstance(arg, Bind):
+        return f"${arg.key}"
+    return repr(arg)
+
+
+def render_step(step: Step) -> str:
+    if isinstance(step, FusedGroup):
+        spec = fused_spec(step.calls)
+        inner = "; ".join(render_step(c) for c in step.calls)
+        return f"fused[{len(step.calls)}] {spec.name}  {{ {inner} }}"
+    if isinstance(step, KernelCall):
+        op = step.spec
+        args = ", ".join(_render_arg(a) for a in step.args)
+        text = f"{step.op}({args})"
+        if step.out is not None:
+            text = f"{step.out} = {text}"
+        notes = []
+        if op.reduction:
+            notes.append("reduction")
+        written = op.written(step.args)
+        if written:
+            notes.append("writes " + ",".join(written))
+        if notes:
+            text += "   # " + "; ".join(notes)
+        return text
+    if isinstance(step, HaloStep):
+        return f"update_halo({','.join(step.names)}, depth={step.depth})"
+    if isinstance(step, ScalarStep):
+        return f"{step.out} = scalar({step.fn.__name__})"
+    if isinstance(step, BarrierStep):
+        return f"barrier {step.method}()"
+    return repr(step)
+
+
+# --------------------------------------------------------------------- #
+# the executor
+# --------------------------------------------------------------------- #
+class PlanExecutor:
+    """Replays compiled plans against one port.
+
+    With fusion off every :class:`KernelCall` goes through the port's
+    *public* kernel method — preserving the per-model trace structure and
+    any wrapper a harness has installed (lockstep comparison, fault
+    injection).  With fusion on, eligible groups dispatch through
+    ``port.dispatch_fused`` as one traced launch whose member bodies run
+    in original order, so results stay bitwise-identical.
+    """
+
+    def __init__(self, port: Any, fuse: bool = False) -> None:
+        self.port = port
+        self.fuse = bool(fuse) and getattr(port, "supports_fusion", False)
+
+    def run(
+        self, plan: Plan, env: dict[str, float] | None = None
+    ) -> dict[str, float]:
+        """Execute ``plan``; returns the scalar environment."""
+        port = self.port
+        env = {} if env is None else env
+        transparent = not getattr(port, "has_data_region", False)
+        for step in plan.compiled(self.fuse, transparent):
+            if isinstance(step, FusedGroup):
+                calls = tuple(
+                    KernelCall(c.op, self._resolve(c.args, env), c.out, c.finite)
+                    for c in step.calls
+                )
+                results = port.dispatch_fused(calls)
+                for call, value in zip(calls, results):
+                    self._store(call, value, env)
+            elif isinstance(step, KernelCall):
+                value = getattr(port, step.op)(*self._resolve(step.args, env))
+                self._store(step, value, env)
+            elif isinstance(step, HaloStep):
+                port.update_halo(step.names, depth=step.depth)
+            elif isinstance(step, ScalarStep):
+                value = step.fn(env)
+                if step.finite:
+                    value = check_finite(step.out, value)
+                env[step.out] = value
+            elif isinstance(step, BarrierStep):
+                getattr(port, step.method)()
+            else:  # pragma: no cover - plans are built from known steps
+                raise TypeError(f"unknown plan step {step!r}")
+        return env
+
+    @staticmethod
+    def _resolve(args: tuple[Any, ...], env: Mapping[str, float]) -> tuple[Any, ...]:
+        return tuple(env[a.key] if isinstance(a, Bind) else a for a in args)
+
+    @staticmethod
+    def _store(call: KernelCall, value: Any, env: dict[str, float]) -> None:
+        if call.out is None:
+            return
+        if call.finite:
+            value = check_finite(call.out, value)
+        env[call.out] = value
+
+
+def executor_for(port: Any) -> PlanExecutor:
+    """The executor attached to ``port``, or a fusion-off fallback.
+
+    The driver configures and attaches one as ``port.plan_executor``;
+    solver code driving a bare port (unit tests, harnesses) gets default
+    semantics — every call through the public kernel methods, unfused.
+
+    The attached executor is only honoured when it drives *this exact
+    object*: a delegating proxy (GuardedPort, lockstep harness) inherits
+    ``plan_executor`` from the port it wraps, and reusing that executor
+    would dispatch straight to the inner port, silently bypassing the
+    proxy's interception.
+    """
+    ex = getattr(port, "plan_executor", None)
+    if ex is not None and ex.port is port:
+        return ex
+    return PlanExecutor(port)

@@ -47,6 +47,7 @@ from repro.models.raja.forall import (
 from repro.models.raja.reducers import ReduceSum
 from repro.models.raja.segments import IndexSet, ListSegment, RangeSegment
 from repro.models.reduction import deterministic_multi_sum
+from repro.models.stencil import flat_diag, flat_matvec
 from repro.models.tracing import Trace
 from repro.util.errors import ModelError
 
@@ -86,6 +87,8 @@ class RAJAPort(Port):
     """Lambda bodies over precomputed interior IndexSets."""
 
     model_name = "raja"
+    #: forall launches carry no implicit fences; fusion is legal.
+    supports_fusion = True
     #: Execution policy for the main loops.
     policy = omp_parallel_for_exec
     #: Whether to build vectorisable RangeSegments (the SIMD variant).
@@ -143,19 +146,13 @@ class RAJAPort(Port):
     # ------------------------------------------------------------------ #
     def _matvec(self, i: np.ndarray, v: np.ndarray) -> np.ndarray:
         kx, ky = self._flat(F.KX), self._flat(F.KY)
-        NX = self._pitch
-        return (
-            (1.0 + kx[i + 1] + kx[i] + ky[i + NX] + ky[i]) * v[i]
-            - (kx[i + 1] * v[i + 1] + kx[i] * v[i - 1])
-            - (ky[i + NX] * v[i + NX] + ky[i] * v[i - NX])
-        )
+        return flat_matvec(i, v, kx, ky, 1, self._pitch)
 
-    def set_field(self) -> None:
+    def _k_set_field(self) -> None:
         e0, e1 = self._flat(F.ENERGY0), self._flat(F.ENERGY1)
-        self._launch("set_field")
         forall(self.policy, self._interior, lambda i: e1.__setitem__(i, e0[i]))
 
-    def tea_leaf_init(self, dt: float, coefficient: str) -> None:
+    def _k_tea_leaf_init(self, dt: float, coefficient: str) -> None:
         g = self.grid
         self._rx = dt / (g.dx * g.dx)
         self._ry = dt / (g.dy * g.dy)
@@ -170,7 +167,6 @@ class RAJAPort(Port):
         def w_of(vals: np.ndarray) -> np.ndarray:
             return 1.0 / vals if recip else vals
 
-        self._launch("tea_leaf_init")
 
         def init_u(i: np.ndarray) -> None:
             u[i] = energy[i] * density[i]
@@ -196,21 +192,19 @@ class RAJAPort(Port):
 
         forall(self.policy, self._y_faces, init_ky)
 
-    def tea_leaf_residual(self) -> None:
+    def _k_tea_leaf_residual(self) -> None:
         r, u0 = self._flat(F.R), self._flat(F.U0)
         u = self._flat(F.U)
-        self._launch("tea_leaf_residual")
         forall(
             self.policy,
             self._interior,
             lambda i: r.__setitem__(i, u0[i] - self._matvec(i, u)),
         )
 
-    def cg_init(self) -> float:
+    def _k_cg_init(self) -> float:
         w, r, p = self._flat(F.W), self._flat(F.R), self._flat(F.P)
         u, u0 = self._flat(F.U), self._flat(F.U0)
         rro = ReduceSum(self.policy)
-        self._launch("cg_init")
 
         def body(i: np.ndarray) -> None:
             nonlocal rro
@@ -222,10 +216,9 @@ class RAJAPort(Port):
         forall(self.policy, self._interior, body)
         return rro.get()
 
-    def cg_calc_w(self) -> float:
+    def _k_cg_calc_w(self) -> float:
         w, p = self._flat(F.W), self._flat(F.P)
         pw = ReduceSum(self.policy)
-        self._launch("cg_calc_w")
 
         def body(i: np.ndarray) -> None:
             nonlocal pw
@@ -235,11 +228,10 @@ class RAJAPort(Port):
         forall(self.policy, self._interior, body)
         return pw.get()
 
-    def cg_calc_ur(self, alpha: float) -> float:
+    def _k_cg_calc_ur(self, alpha: float) -> float:
         u, r = self._flat(F.U), self._flat(F.R)
         p, w = self._flat(F.P), self._flat(F.W)
         rrn = ReduceSum(self.policy)
-        self._launch("cg_calc_ur")
 
         def body(i: np.ndarray) -> None:
             nonlocal rrn
@@ -250,20 +242,17 @@ class RAJAPort(Port):
         forall(self.policy, self._interior, body)
         return rrn.get()
 
-    def cg_calc_p(self, beta: float) -> None:
+    def _k_cg_calc_p(self, beta: float) -> None:
         p, r = self._flat(F.P), self._flat(F.R)
-        self._launch("cg_calc_p")
         forall(self.policy, self._interior, lambda i: p.__setitem__(i, r[i] + beta * p[i]))
 
-    def ppcg_calc_p(self, beta: float) -> None:
+    def _k_ppcg_calc_p(self, beta: float) -> None:
         p, z = self._flat(F.P), self._flat(F.Z)
-        self._launch("cg_calc_p")
         forall(self.policy, self._interior, lambda i: p.__setitem__(i, z[i] + beta * p[i]))
 
-    def cheby_init(self, theta: float) -> None:
+    def _k_cheby_init(self, theta: float) -> None:
         r, sd = self._flat(F.R), self._flat(F.SD)
         u, u0 = self._flat(F.U), self._flat(F.U0)
-        self._launch("cheby_init")
 
         def sweep_r(i: np.ndarray) -> None:
             r[i] = u0[i] - self._matvec(i, u)
@@ -272,17 +261,16 @@ class RAJAPort(Port):
         forall(self.policy, self._interior, sweep_r)
         forall(self.policy, self._interior, lambda i: u.__setitem__(i, u[i] + sd[i]))
 
-    def cheby_iterate(self, alpha: float, beta: float) -> None:
-        self._cheby_sweeps(F.R, F.U, alpha, beta, "cheby_iterate")
+    def _k_cheby_iterate(self, alpha: float, beta: float) -> None:
+        self._cheby_sweeps(F.R, F.U, alpha, beta)
 
-    def ppcg_precon_inner(self, alpha: float, beta: float) -> None:
-        self._cheby_sweeps(F.W, F.Z, alpha, beta, "ppcg_inner")
+    def _k_ppcg_precon_inner(self, alpha: float, beta: float) -> None:
+        self._cheby_sweeps(F.W, F.Z, alpha, beta)
 
     def _cheby_sweeps(
-        self, resid: str, accum: str, alpha: float, beta: float, kernel: str
+        self, resid: str, accum: str, alpha: float, beta: float
     ) -> None:
         res, sd, acc = self._flat(resid), self._flat(F.SD), self._flat(accum)
-        self._launch(kernel)
         forall(
             self.policy,
             self._interior,
@@ -295,10 +283,9 @@ class RAJAPort(Port):
 
         forall(self.policy, self._interior, sweep_sd)
 
-    def ppcg_precon_init(self, theta: float) -> None:
+    def _k_ppcg_precon_init(self, theta: float) -> None:
         w, sd = self._flat(F.W), self._flat(F.SD)
         z, r = self._flat(F.Z), self._flat(F.R)
-        self._launch("ppcg_precon_init")
 
         def body(i: np.ndarray) -> None:
             w[i] = r[i]
@@ -307,29 +294,25 @@ class RAJAPort(Port):
 
         forall(self.policy, self._interior, body)
 
-    def cg_precon_jacobi(self) -> None:
+    def _k_cg_precon_jacobi(self) -> None:
         z, r = self._flat(F.Z), self._flat(F.R)
         kx, ky = self._flat(F.KX), self._flat(F.KY)
         NX = self._pitch
-        self._launch("cg_precon")
 
         def body(i: np.ndarray) -> None:
-            diag = 1.0 + kx[i + 1] + kx[i] + ky[i + NX] + ky[i]
-            z[i] = r[i] / diag
+            z[i] = r[i] / flat_diag(i, kx, ky, 1, NX)
 
         forall(self.policy, self._interior, body)
 
-    def jacobi_iterate(self) -> float:
-        self.copy_field(F.U, F.R)
+    def _k_jacobi_iterate(self) -> float:
         u, un, u0 = self._flat(F.U), self._flat(F.R), self._flat(F.U0)
         kx, ky = self._flat(F.KX), self._flat(F.KY)
         NX = self._pitch
         err = ReduceSum(self.policy)
-        self._launch("jacobi_iterate")
 
         def body(i: np.ndarray) -> None:
             nonlocal err
-            diag = 1.0 + kx[i + 1] + kx[i] + ky[i + NX] + ky[i]
+            diag = flat_diag(i, kx, ky, 1, NX)
             u[i] = (
                 u0[i]
                 + kx[i + 1] * un[i + 1]
@@ -342,10 +325,9 @@ class RAJAPort(Port):
         forall(self.policy, self._interior, body)
         return err.get()
 
-    def norm2_field(self, name: str) -> float:
+    def _k_norm2_field(self, name: str) -> float:
         a = self._flat(name)
         acc = ReduceSum(self.policy)
-        self._launch("norm2")
 
         def body(i: np.ndarray) -> None:
             nonlocal acc
@@ -354,10 +336,9 @@ class RAJAPort(Port):
         forall(self.policy, self._interior, body)
         return acc.get()
 
-    def dot_fields(self, name_a: str, name_b: str) -> float:
+    def _k_dot_fields(self, name_a: str, name_b: str) -> float:
         a, b = self._flat(name_a), self._flat(name_b)
         acc = ReduceSum(self.policy)
-        self._launch("dot_product")
 
         def body(i: np.ndarray) -> None:
             nonlocal acc
@@ -366,25 +347,22 @@ class RAJAPort(Port):
         forall(self.policy, self._interior, body)
         return acc.get()
 
-    def copy_field(self, src: str, dst: str) -> None:
-        self._launch("copy_field")
+    def _k_copy_field(self, src: str, dst: str) -> None:
         self.fields[dst][...] = self.fields[src]
 
-    def tea_leaf_finalise(self) -> None:
+    def _k_tea_leaf_finalise(self) -> None:
         energy, u = self._flat(F.ENERGY1), self._flat(F.U)
         density = self._flat(F.DENSITY)
-        self._launch("tea_leaf_finalise")
         forall(
             self.policy,
             self._interior,
             lambda i: energy.__setitem__(i, u[i] / density[i]),
         )
 
-    def field_summary(self) -> tuple[float, float, float, float]:
+    def _k_field_summary(self) -> tuple[float, float, float, float]:
         density, energy = self._flat(F.DENSITY), self._flat(F.ENERGY1)
         u = self._flat(F.U)
         vol = self.grid.cell_volume
-        self._launch("field_summary")
 
         def body(i: np.ndarray):
             d = density[i]

@@ -1,0 +1,73 @@
+"""Shared 5-point stencil arithmetic and interior-index helpers.
+
+Every port applies the same symmetric five-point operator
+
+    (A v)_ij = (1 + kxE + kxW + kyN + kyS) v_ij
+               - (kxE v_E + kxW v_W) - (kyN v_N + kyS v_S)
+
+but the paper's ports each re-derived the index arithmetic in their own
+idiom: CUDA and OpenCL from a flattened 1-D launch index, Kokkos from
+layout-polymorphic strides, RAJA from precomputed indirection lists, and
+the OpenMP/OpenACC loop bodies from 2-D row slabs.  The *expressions* were
+copy-pasted between those files; this module is the single home for them.
+
+Bitwise contract: callers pass their own neighbour offsets / slices, and
+each helper keeps exactly one association order, so all ports produce
+bit-for-bit identical values regardless of how they index (the PR 3
+equivalence gate depends on this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def decode_interior(idx: np.ndarray, n: int, pitch: int, h: int, nx: int):
+    """Overspill guard + interior flat-index computation for 1-D launches.
+
+    ``idx`` is the batch of global work-item / thread indices; returns
+    ``(valid, i, j, k)`` where ``valid`` masks indices below ``n``, ``i``
+    is the flat padded-array position of each interior cell, and ``j``/``k``
+    are its padded column/row coordinates.
+    """
+    valid = idx < n
+    c = idx[valid]
+    k = c // nx + h
+    j = c % nx + h
+    return valid, k * pitch + j, j, k
+
+
+def flat_matvec(i: np.ndarray, v, kx, ky, east: int, north: int) -> np.ndarray:
+    """A v at flat interior indices ``i`` with explicit neighbour offsets.
+
+    CUDA/OpenCL pass ``east=1, north=pitch`` (row-major flattening), Kokkos
+    passes its layout-derived strides, RAJA ``east=1, north=pitch``.
+    """
+    return (
+        (1.0 + kx[i + east] + kx[i] + ky[i + north] + ky[i]) * v[i]
+        - (kx[i + east] * v[i + east] + kx[i] * v[i - east])
+        - (ky[i + north] * v[i + north] + ky[i] * v[i - north])
+    )
+
+
+def flat_diag(i: np.ndarray, kx, ky, east: int, north: int) -> np.ndarray:
+    """diag(A) at flat interior indices ``i`` (Jacobi / jac_diag kernels)."""
+    return 1.0 + kx[i + east] + kx[i] + ky[i + north] + ky[i]
+
+
+def row_matvec(v, kx, ky, I, Im, Ip, J, Jm, Jp) -> np.ndarray:
+    """A v over a 2-D row slab given centre/shifted row and column slices.
+
+    The OpenMP slab bodies pass slices covering rows ``[r0, r1)``; the
+    Kokkos hierarchical port passes a single team row.
+    """
+    return (
+        (1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J]) * v[I, J]
+        - (kx[I, Jp] * v[I, Jp] + kx[I, J] * v[I, Jm])
+        - (ky[Ip, J] * v[Ip, J] + ky[I, J] * v[Im, J])
+    )
+
+
+def row_diag(kx, ky, I, Ip, J, Jp) -> np.ndarray:
+    """diag(A) over a 2-D row slab."""
+    return 1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J]
