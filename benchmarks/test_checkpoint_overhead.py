@@ -1,0 +1,99 @@
+"""Checkpoint-overhead trajectory point for plan-aware resilience.
+
+Runs the benchmark deck on the resilient configuration and records how
+many bytes each periodic checkpoint actually copies now that the plan
+executor journals per-step write sets: within a solve only the iterated
+fields (u, r, p — plus sd for PPCG) are dirty, so incremental captures
+should move well under half of what a full 10-field snapshot would.
+Also times a rollback (restore + halo re-exchange + residency
+invalidation), the recovery-latency number fault-tolerance PRs will be
+measured against.  Results land in ``BENCH_resilience.json``.
+
+Run with::
+
+    pytest benchmarks/test_checkpoint_overhead.py --benchmark-only
+"""
+
+import dataclasses
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import fields as F
+from repro.core.deck import parse_deck_file
+from repro.core.driver import TeaLeaf
+
+REPO = Path(__file__).resolve().parents[1]
+DECK = REPO / "decks" / "tea_bm_short.in"
+OUT = REPO / "BENCH_resilience.json"
+
+SOLVERS = ["cg", "ppcg"]
+
+_RESULTS: dict[str, dict] = {}
+
+
+def measure(solver: str) -> dict:
+    deck = parse_deck_file(DECK)
+    deck = dataclasses.replace(
+        deck,
+        solver=solver,
+        tl_preconditioner_type="jac_diag",
+        tl_resilient=True,
+    )
+    app = TeaLeaf(deck, model="openmp-f90")
+    t0 = time.perf_counter()
+    result = app.run()
+    wall = time.perf_counter() - t0
+
+    ck = app.resilience.checkpoints
+    t0 = time.perf_counter()
+    ck.restore(app.port)
+    restore_wall = time.perf_counter() - t0
+
+    u_sha = hashlib.sha256(app.field(F.U).tobytes()).hexdigest()[:16]
+    return {
+        "solver": solver,
+        "iterations": result.total_iterations,
+        "checkpoints_taken": ck.taken,
+        "periodic_bytes_copied": ck.periodic_bytes_copied,
+        "periodic_bytes_full": ck.periodic_bytes_full,
+        "incremental_ratio": round(
+            ck.periodic_bytes_copied / ck.periodic_bytes_full, 4
+        ),
+        "last_capture_bytes": ck.last_capture_bytes,
+        "restore_seconds": round(restore_wall, 5),
+        "wall_seconds": round(wall, 4),
+        "u_sha": u_sha,
+    }
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_checkpoint_overhead(solver, benchmark):
+    row = benchmark.pedantic(measure, args=(solver,), rounds=1, iterations=1)
+    _RESULTS[solver] = row
+    assert row["periodic_bytes_full"] > 0
+    # Headline acceptance: incremental checkpoints copy at most half of
+    # what full snapshots would on the benchmark deck.
+    assert row["periodic_bytes_copied"] <= 0.5 * row["periodic_bytes_full"]
+
+
+def test_write_bench_json():
+    """Aggregate the per-solver measurements into BENCH_resilience.json."""
+    if not _RESULTS:  # benchmark selection skipped the sweep
+        pytest.skip("no checkpoint measurements collected")
+    payload = {
+        "deck": DECK.name,
+        "preconditioner": "jac_diag",
+        "checkpoint_fields": 10,
+        "solvers": _RESULTS,
+        "summary": {
+            "max_incremental_ratio": max(
+                r["incremental_ratio"] for r in _RESULTS.values()
+            ),
+        },
+    }
+    OUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    assert payload["summary"]["max_incremental_ratio"] <= 0.5

@@ -132,10 +132,20 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     transparent = not port.has_data_region
     if args.fuse and not fuse:
         print(f"# model {args.model} does not support fusion; showing unfused")
-    print(f"# model={args.model} solver={deck.solver} mesh={args.mesh}")
+    instrument = bool(getattr(args, "resilient", False))
+    header = f"# model={args.model} solver={deck.solver} mesh={args.mesh}"
+    if instrument:
+        header += " resilience-instrumented"
+    print(header)
     prologue, epilogue = solve_step_plans(deck.grid().halo)
     for p in [prologue, *fragments, epilogue]:
-        print(p.describe(fuse=fuse, transparent_barriers=transparent))
+        print(
+            p.describe(
+                fuse=fuse,
+                transparent_barriers=transparent,
+                instrument=instrument,
+            )
+        )
         print()
     return 0
 
@@ -385,6 +395,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--fuse", action="store_true",
         help="compile with fusion on (if the model supports it)",
+    )
+    plan.add_argument(
+        "--resilient", action="store_true",
+        help="show the instrumented variant: where the compiler places "
+        "fault-injection triggers and isfinite/divergence guard steps",
     )
     plan.set_defaults(fn=_cmd_plan)
 

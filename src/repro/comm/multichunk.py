@@ -121,6 +121,20 @@ class MultiChunkPort(Port):
         self.fault_plan = manager.plan
 
     # ------------------------------------------------------------------ #
+    # residency (forwarded: the chunk ports own the device state)
+    # ------------------------------------------------------------------ #
+    def enable_residency_tracking(self, enabled: bool = True) -> None:
+        super().enable_residency_tracking(enabled)
+        for chunk_port in self.ports:
+            chunk_port.enable_residency_tracking(enabled)
+
+    def invalidate_residency(self, names) -> None:
+        names = tuple(names)
+        super().invalidate_residency(names)
+        for chunk_port in self.ports:
+            chunk_port.invalidate_residency(names)
+
+    # ------------------------------------------------------------------ #
     # rank liveness and recovery
     # ------------------------------------------------------------------ #
     def chunk_alive(self, chunk: int) -> bool:

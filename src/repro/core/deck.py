@@ -110,10 +110,14 @@ class Deck:
     #: exchanges still fail fast on a dead peer).
     tl_heartbeat_interval: int = 10
     #: Let the plan compiler fuse adjacent fusable kernel launches on
-    #: ports that declare fusion legal (forced off under fault injection).
+    #: ports that declare fusion legal.  Composes with resilience: fault
+    #: triggers and scalar guards are plan steps placed at fusion-group
+    #: boundaries, so injection/detection never bypass a fused dispatch.
     tl_fuse_kernels: bool = False
     #: Track device-side field residency so clean fields skip the
     #: device->host readback (offload models only; no-op on host models).
+    #: Composes with resilience: checkpoint restore invalidates the
+    #: residency state of restored fields so devices re-upload them.
     tl_residency_tracking: bool = False
     states: tuple[State, ...] = field(default_factory=tuple)
 
@@ -162,6 +166,19 @@ class Deck:
             )
         if self.tl_spare_ranks < 0:
             raise DeckError("tl_spare_ranks must be non-negative")
+        # The only genuinely unsupported combinations left are within the
+        # rank-recovery options themselves: fusion, residency, injection
+        # and resilience all compose (plan-level instrumentation).
+        if self.tl_rank_policy == "spare" and self.tl_spare_ranks < 1:
+            raise DeckError(
+                "tl_rank_policy spare needs tl_spare_ranks >= 1 "
+                "(no reserve rank to adopt a dead chunk)"
+            )
+        if self.tl_spare_ranks > 0 and self.tl_rank_policy != "spare":
+            raise DeckError(
+                f"tl_spare_ranks {self.tl_spare_ranks} is only meaningful "
+                "with tl_rank_policy spare"
+            )
         if self.tl_heartbeat_interval < 0:
             raise DeckError("tl_heartbeat_interval must be non-negative")
         if self.tl_inject:

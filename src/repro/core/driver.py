@@ -151,18 +151,6 @@ class TeaLeaf:
         #: Directory for visit_frequency VTK dumps (default: cwd).
         self.visit_dir = visit_dir
 
-        # Plan execution: every port runs its kernels through one shared
-        # executor.  Fusion is opt-in per deck and only honoured by ports
-        # that declare it legal; it is forced off under fault injection,
-        # whose hooks wrap the public per-kernel methods that a fused
-        # dispatch would bypass.
-        from repro.models.plan import PlanExecutor
-
-        fuse = deck.tl_fuse_kernels and not (deck.tl_resilient or deck.tl_inject)
-        self.executor = PlanExecutor(self.port, fuse=fuse)
-        self.port.plan_executor = self.executor
-        self._prologue, self._epilogue = solve_step_plans(self.grid.halo)
-
         # Resilience layer: only constructed when the deck (or caller) asks
         # for it, so disabled runs pay nothing — the plain solver drives the
         # plain port.  Imported lazily because repro.resilience sits above
@@ -187,11 +175,28 @@ class TeaLeaf:
                 attach = getattr(self.port, "attach_fault_plan", None)
                 if attach is not None:
                     attach(self.resilience.plan)
+
+        # Plan execution: every port runs its kernels through one shared
+        # executor.  Fusion is opt-in per deck and only honoured by ports
+        # that declare it legal.  Under resilience the executor compiles
+        # the *instrumented* plan variant — fault triggers and scalar
+        # guards are plan steps placed at fusion-group boundaries, so
+        # injection and detection compose with fusion instead of forcing
+        # it off.
+        from repro.models.plan import PlanExecutor
+
+        self.executor = PlanExecutor(
+            self.port, fuse=deck.tl_fuse_kernels, resilience=self.resilience
+        )
+        self.port.plan_executor = self.executor
+        self._prologue, self._epilogue = solve_step_plans(self.grid.halo)
+
         # Residency tracking: skip device<->host traffic for fields the
-        # device has not dirtied since the last readback.  Incompatible
-        # with resilience, whose fault plans corrupt arrays behind the
-        # port's back — a mirror would serve stale checkpoint probes.
-        if deck.tl_residency_tracking and self.resilience is None:
+        # device has not dirtied since the last readback.  Composes with
+        # resilience: fault injection flows through read_field/write_field
+        # (mirror-aware) and checkpoint restore invalidates residency
+        # state for the restored fields before rewriting them.
+        if deck.tl_residency_tracking:
             self.port.enable_residency_tracking()
 
         density, energy0 = generate_chunk(list(deck.states), self.grid)

@@ -193,6 +193,21 @@ class Port(ABC):
             self._host_mirror[name] = host.copy()
             self._dirty_fields.discard(name)
 
+    def invalidate_residency(self, names: Iterable[str]) -> None:
+        """Drop any cached residency state for ``names``.
+
+        Called before an external restore (checkpoint rollback, rank
+        recovery) overwrites fields through the host interface: the
+        fields' host mirrors are stale and their device copies are about
+        to be replaced, so the next consumer must take the upload/readback
+        path.  A no-op when residency tracking is off.
+        """
+        if not self._residency_enabled:
+            return
+        for name in tuple(names):
+            self._host_mirror.pop(name, None)
+            self._dirty_fields.add(name)
+
     # ------------------------------------------------------------------ #
     # the dispatch core
     # ------------------------------------------------------------------ #

@@ -23,6 +23,13 @@ optimisation:
 * **Residency tracking**: executed plans report written fields to the
   port's dirty-set adapter, letting offload ports elide redundant
   host<->device transfers (see ``Port.enable_residency_tracking``).
+* **Resilience instrumentation** (``Plan.compiled(..., instrument=True)``):
+  fault-injection triggers (:class:`FaultStep`) and isfinite/divergence
+  guards (:class:`GuardStep`) are explicit steps the compiler places at
+  fusion-group boundaries, so detection composes with fusion and residency
+  instead of requiring a per-kernel proxy that fused dispatch would
+  bypass.  The executor also journals every step's write set into the
+  resilience manager, which is what lets checkpoints go incremental.
 
 ``python -m repro plan --model M --solver S`` dumps the compiled plan.
 """
@@ -286,7 +293,40 @@ class FusedGroup:
     calls: tuple[KernelCall, ...]
 
 
-Step = Any  # KernelCall | HaloStep | ScalarStep | BarrierStep | FusedGroup
+@dataclass(frozen=True)
+class FaultStep:
+    """Fault-plan trigger point for the named kernel launches.
+
+    Placed by the instrumentation pass immediately *before* the launch it
+    covers (one entry per member for a fused group), so a due
+    ``raise:<kernel>:<n>`` spec aborts before the kernel — or the whole
+    fused traversal — runs, exactly as the per-method proxy did unfused.
+    A run without resilience never executes this step.
+    """
+
+    ops: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GuardStep:
+    """Detection point placed after a reduction's scalar is available.
+
+    ``guard`` names the environment key whose value is isfinite-checked
+    (raising :class:`CorruptionError` under ``label``), ``observe`` feeds
+    a residual into the divergence monitor, and ``tick`` advances the
+    global iteration count that drives field-fault injection and periodic
+    checkpoints.  For fused groups the guards land at the group boundary:
+    member bodies run back-to-back with no intervening scalar use, so
+    checking afterwards is observationally identical to the unfused order.
+    """
+
+    guard: str | None = None
+    label: str | None = None
+    observe: str | None = None
+    tick: bool = False
+
+
+Step = Any  # KernelCall | HaloStep | ... | FusedGroup | FaultStep | GuardStep
 
 
 def fused_spec(calls: tuple[KernelCall, ...]) -> KernelSpec:
@@ -358,27 +398,101 @@ def _can_fuse(group: list[KernelCall], cand: KernelCall) -> bool:
     return True
 
 
+def _guard_for(call: KernelCall) -> GuardStep | None:
+    """The detection step the instrumentation pass places after ``call``.
+
+    Mirrors the historical ``GuardedPort`` hook table: which reductions
+    are isfinite-guarded (and under which label), which feed the residual
+    monitor, and which calls complete a solver iteration.
+    """
+    op = call.op
+    if op == "cg_calc_ur":
+        return GuardStep(
+            guard=call.out, label=call.out, observe=call.out, tick=True
+        )
+    if op == "jacobi_iterate":
+        return GuardStep(guard=call.out, label="jacobi_change", tick=True)
+    if op == "cheby_iterate":
+        return GuardStep(tick=True)
+    if call.out is None:
+        return None
+    if op in ("cg_init", "cg_calc_w"):
+        return GuardStep(guard=call.out, label=call.out)
+    if op == "norm2_field":
+        name = call.args[0]
+        return GuardStep(
+            guard=call.out,
+            label=f"norm2({name})",
+            observe=call.out if name == F.R else None,
+        )
+    if op == "dot_fields":
+        return GuardStep(
+            guard=call.out, label=f"dot({call.args[0]},{call.args[1]})"
+        )
+    return None
+
+
+def _instrument(steps: list[Step]) -> list[Step]:
+    """Weave fault-trigger and guard steps into a compiled step list.
+
+    Runs *after* fusion, so the triggers/guards land at fusion-group
+    boundaries: a group's fault checks all fire before the traversal, its
+    reduction guards after it.  The pass is pure plan rewriting — a run
+    without resilience never compiles an instrumented variant.
+    """
+    out: list[Step] = []
+    for step in steps:
+        if isinstance(step, KernelCall):
+            out.append(FaultStep((step.op,)))
+            out.append(step)
+            guard = _guard_for(step)
+            if guard is not None:
+                out.append(guard)
+        elif isinstance(step, FusedGroup):
+            out.append(FaultStep(tuple(c.op for c in step.calls)))
+            out.append(step)
+            for call in step.calls:
+                guard = _guard_for(call)
+                if guard is not None:
+                    out.append(guard)
+        elif isinstance(step, HaloStep):
+            out.append(FaultStep(("update_halo",)))
+            out.append(step)
+        else:
+            out.append(step)
+    return out
+
+
 @dataclass
 class Plan:
     """A named, immutable step sequence with cached compiled variants."""
 
     name: str
     steps: tuple[Step, ...]
-    _compiled: dict[tuple[bool, bool], list[Step]] = field(
+    _compiled: dict[tuple[bool, bool, bool], list[Step]] = field(
         default_factory=dict, repr=False, compare=False
     )
 
-    def compiled(self, fuse: bool, transparent_barriers: bool = False) -> list[Step]:
+    def compiled(
+        self,
+        fuse: bool,
+        transparent_barriers: bool = False,
+        instrument: bool = False,
+    ) -> list[Step]:
         """The executable step list, fused when ``fuse`` is set.
 
-        Compilation happens once per (fuse, transparency) pair and is
-        cached — CG/Chebyshev/PPCG inner loops replay the same compiled
-        list every iteration instead of rebuilding their call sequence.
+        Compilation happens once per (fuse, transparency, instrument)
+        triple and is cached — CG/Chebyshev/PPCG inner loops replay the
+        same compiled list every iteration instead of rebuilding their
+        call sequence.  ``instrument`` weaves resilience fault/guard
+        steps into the compiled list (see :func:`_instrument`).
         """
-        key = (bool(fuse), bool(transparent_barriers))
+        key = (bool(fuse), bool(transparent_barriers), bool(instrument))
         cached = self._compiled.get(key)
         if cached is None:
-            cached = self._compile(*key) if fuse else list(self.steps)
+            cached = self._compile(key[0], key[1]) if fuse else list(self.steps)
+            if key[2]:
+                cached = _instrument(cached)
             self._compiled[key] = cached
         return cached
 
@@ -412,10 +526,18 @@ class Plan:
         return out
 
     # ------------------------------------------------------------------ #
-    def describe(self, fuse: bool = False, transparent_barriers: bool = False) -> str:
+    def describe(
+        self,
+        fuse: bool = False,
+        transparent_barriers: bool = False,
+        instrument: bool = False,
+    ) -> str:
         """Human-readable dump (the ``repro plan`` CLI output)."""
-        lines = [f"plan {self.name} (fuse={'on' if fuse else 'off'}):"]
-        for step in self.compiled(fuse, transparent_barriers):
+        header = f"plan {self.name} (fuse={'on' if fuse else 'off'}"
+        if instrument:
+            header += ", instrumented"
+        lines = [header + "):"]
+        for step in self.compiled(fuse, transparent_barriers, instrument):
             lines.append(f"  {render_step(step)}")
         return "\n".join(lines)
 
@@ -452,6 +574,17 @@ def render_step(step: Step) -> str:
         return f"{step.out} = scalar({step.fn.__name__})"
     if isinstance(step, BarrierStep):
         return f"barrier {step.method}()"
+    if isinstance(step, FaultStep):
+        return f"fault-point({', '.join(step.ops)})"
+    if isinstance(step, GuardStep):
+        parts = []
+        if step.guard is not None:
+            parts.append(f"isfinite(${step.guard} as {step.label!r})")
+        if step.observe is not None:
+            parts.append(f"observe_residual(${step.observe})")
+        if step.tick:
+            parts.append("iteration_complete")
+        return "guard " + "; ".join(parts)
     return repr(step)
 
 
@@ -463,24 +596,32 @@ class PlanExecutor:
 
     With fusion off every :class:`KernelCall` goes through the port's
     *public* kernel method — preserving the per-model trace structure and
-    any wrapper a harness has installed (lockstep comparison, fault
-    injection).  With fusion on, eligible groups dispatch through
-    ``port.dispatch_fused`` as one traced launch whose member bodies run
-    in original order, so results stay bitwise-identical.
+    any wrapper a harness has installed (lockstep comparison).  With
+    fusion on, eligible groups dispatch through ``port.dispatch_fused``
+    as one traced launch whose member bodies run in original order, so
+    results stay bitwise-identical.
+
+    With a resilience manager attached the executor compiles the
+    *instrumented* plan variant (fault triggers + scalar guards at fusion
+    boundaries) and journals every step's write set and scalar output
+    into the manager — feeding incremental checkpoints and scalar-state
+    capture.  Without one, the disabled path pays exactly nothing.
     """
 
-    def __init__(self, port: Any, fuse: bool = False) -> None:
+    def __init__(self, port: Any, fuse: bool = False, resilience: Any = None) -> None:
         self.port = port
         self.fuse = bool(fuse) and getattr(port, "supports_fusion", False)
+        self.resilience = resilience
 
     def run(
         self, plan: Plan, env: dict[str, float] | None = None
     ) -> dict[str, float]:
         """Execute ``plan``; returns the scalar environment."""
         port = self.port
+        m = self.resilience
         env = {} if env is None else env
         transparent = not getattr(port, "has_data_region", False)
-        for step in plan.compiled(self.fuse, transparent):
+        for step in plan.compiled(self.fuse, transparent, m is not None):
             if isinstance(step, FusedGroup):
                 calls = tuple(
                     KernelCall(c.op, self._resolve(c.args, env), c.out, c.finite)
@@ -489,18 +630,40 @@ class PlanExecutor:
                 results = port.dispatch_fused(calls)
                 for call, value in zip(calls, results):
                     self._store(call, value, env)
+                if m is not None:
+                    for call in calls:
+                        m.note_writes(call.spec.written(call.args))
             elif isinstance(step, KernelCall):
-                value = getattr(port, step.op)(*self._resolve(step.args, env))
+                args = self._resolve(step.args, env)
+                value = getattr(port, step.op)(*args)
                 self._store(step, value, env)
+                if m is not None:
+                    m.note_writes(step.spec.written(args))
             elif isinstance(step, HaloStep):
                 port.update_halo(step.names, depth=step.depth)
+                if m is not None:
+                    m.note_writes(step.names)
             elif isinstance(step, ScalarStep):
                 value = step.fn(env)
                 if step.finite:
                     value = check_finite(step.out, value)
                 env[step.out] = value
+                if m is not None:
+                    m.note_scalar(step.out, value)
             elif isinstance(step, BarrierStep):
                 getattr(port, step.method)()
+            elif isinstance(step, FaultStep):
+                if m is not None:
+                    for op in step.ops:
+                        m.kernel_call(op)
+            elif isinstance(step, GuardStep):
+                if m is not None:
+                    if step.guard is not None:
+                        m.guard_scalar(step.label, env[step.guard])
+                    if step.observe is not None:
+                        m.observe_residual(env[step.observe])
+                    if step.tick:
+                        m.iteration_complete(port)
             else:  # pragma: no cover - plans are built from known steps
                 raise TypeError(f"unknown plan step {step!r}")
         return env
@@ -509,13 +672,14 @@ class PlanExecutor:
     def _resolve(args: tuple[Any, ...], env: Mapping[str, float]) -> tuple[Any, ...]:
         return tuple(env[a.key] if isinstance(a, Bind) else a for a in args)
 
-    @staticmethod
-    def _store(call: KernelCall, value: Any, env: dict[str, float]) -> None:
+    def _store(self, call: KernelCall, value: Any, env: dict[str, float]) -> None:
         if call.out is None:
             return
         if call.finite:
             value = check_finite(call.out, value)
         env[call.out] = value
+        if self.resilience is not None:
+            self.resilience.note_scalar(call.out, value)
 
 
 def executor_for(port: Any) -> PlanExecutor:

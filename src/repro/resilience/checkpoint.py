@@ -8,27 +8,56 @@ Two checkpoints are kept per solve:
   ``tl_checkpoint_frequency`` solver iterations — rolling back to it
   loses at most one checkpoint interval of progress.
 
+Anchors are always full snapshots.  Periodic captures are *incremental*
+when the caller supplies the write journal the instrumented plan
+executor maintains (``dirty``): only fields written since the previous
+capture are copied off the port; everything else is shared, by
+reference, from the previous snapshot — the shared arrays are never
+mutated, so sharing is safe.  On the benchmark decks that cuts the bytes
+copied per checkpoint by more than half (the conduction coefficients,
+densities and energies are constant within a solve).
+
 A periodic capture is refused (silently skipped) when the state looks
 implausible — non-finite values, or ``u`` grown far beyond the anchor's
 magnitude — so a diverging solve can never overwrite the last *good*
-snapshot with poison.  Restoring writes the snapshot back through the
-port's host interface and refreshes the halo of ``u``, after which any
-solver can restart cleanly (CG rebuilds ``r``/``p`` from ``u`` in
-``cg_init``).
+snapshot with poison.  Restoring first invalidates the port's device
+residency state for the restored fields (offload ports must re-upload
+instead of reading stale device data), then writes the snapshot back
+through the port's host interface and refreshes the halo of ``u``,
+after which any solver can restart cleanly (CG rebuilds ``r``/``p``
+from ``u`` in ``cg_init``).
+
+Checkpoints also carry the solver's scalar state (``rro``/``beta``/
+eigenvalue estimates), recorded by the resilience manager, so a rollback
+mid-PPCG does not resume fields from one iteration paired with scalars
+from another.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core import fields as F
 from repro.util.errors import CorruptionError
 
-#: Fields snapshotted per checkpoint: the solve variable, the CG work
-#: vectors, and the advancing energy (density never changes).
-CHECKPOINT_FIELDS: tuple[str, ...] = (F.U, F.R, F.P, F.SD, F.ENERGY1)
+#: Fields snapshotted per checkpoint: the full solver-visible state, so a
+#: restore is self-contained (rank recovery and mid-solve rollback share
+#: one snapshot layout).  Scratch vectors rebuilt before every read after
+#: a restart (``w``, ``z``) are excluded.
+CHECKPOINT_FIELDS: tuple[str, ...] = (
+    F.DENSITY,
+    F.ENERGY0,
+    F.ENERGY1,
+    F.U,
+    F.U0,
+    F.R,
+    F.P,
+    F.SD,
+    F.KX,
+    F.KY,
+)
 
 #: A candidate snapshot whose max |u| exceeds the anchor's by this factor
 #: is considered diverged and is not saved.
@@ -37,10 +66,11 @@ PLAUSIBLE_GROWTH = 1e3
 
 @dataclass
 class Checkpoint:
-    """One snapshot: global iteration number plus host field copies."""
+    """One snapshot: iteration number, host field copies, solver scalars."""
 
     iteration: int
     fields: dict[str, np.ndarray]
+    scalars: dict[str, float] = field(default_factory=dict)
 
 
 class CheckpointManager:
@@ -54,6 +84,11 @@ class CheckpointManager:
         self.anchor: Checkpoint | None = None
         self.latest: Checkpoint | None = None
         self.taken = 0
+        #: Byte accounting for the overhead benchmark: what periodic
+        #: captures actually copied vs what full snapshots would have.
+        self.periodic_bytes_copied = 0
+        self.periodic_bytes_full = 0
+        self.last_capture_bytes = 0
 
     def due(self, iteration: int) -> bool:
         return self.frequency > 0 and iteration % self.frequency == 0
@@ -63,35 +98,71 @@ class CheckpointManager:
         arrays = {name: port.read_field(name) for name in self.field_names}
         return Checkpoint(iteration=iteration, fields=arrays)
 
-    def _validate(self, ckpt: Checkpoint, halo: int) -> list[str]:
+    def _validate_arrays(self, arrays: dict[str, np.ndarray], halo: int) -> list[str]:
         h = halo
         return [
             name
-            for name, arr in ckpt.fields.items()
+            for name, arr in arrays.items()
             if not np.isfinite(arr[h:-h, h:-h]).all()
         ]
 
-    def capture_anchor(self, port, iteration: int) -> None:
+    def capture_anchor(
+        self, port, iteration: int, scalars: dict[str, float] | None = None
+    ) -> None:
         """Snapshot the solve-start state; corruption here is fatal."""
         ckpt = self._snapshot(port, iteration)
-        bad = self._validate(ckpt, port.h)
+        bad = self._validate_arrays(ckpt.fields, port.h)
         if bad:
             raise CorruptionError(
                 f"non-finite values in field(s) {', '.join(bad)} at solve start"
             )
+        if scalars:
+            ckpt.scalars = dict(scalars)
         self.anchor = ckpt
         self.latest = ckpt
         self.taken += 1
 
-    def capture_periodic(self, port, iteration: int) -> None:
+    def capture_periodic(
+        self,
+        port,
+        iteration: int,
+        dirty: set[str] | None = None,
+        scalars: dict[str, float] | None = None,
+    ) -> bool:
         """Snapshot mid-solve state; raises on corruption, skips if diverged.
+
+        With ``dirty`` (the executor's write journal since the previous
+        capture) only those fields are copied off the port; the rest is
+        shared from the previous snapshot, whose arrays are immutable by
+        construction.  Only freshly-copied arrays need re-validation —
+        any corruption necessarily flowed through a journalled write
+        (kernel, halo, or injected fault), so an untouched field is
+        exactly as finite as it was when last validated.
 
         Raising on a non-finite field is the detection path the NaN
         injection tests exercise: corruption is caught within one
-        checkpoint interval of being planted.
+        checkpoint interval of being planted.  Returns True when a new
+        snapshot was installed.
         """
-        ckpt = self._snapshot(port, iteration)
-        bad = self._validate(ckpt, port.h)
+        base = self.latest
+        if dirty is not None and base is not None:
+            fresh = {
+                name: port.read_field(name)
+                for name in self.field_names
+                if name in dirty
+            }
+            arrays = {
+                name: fresh.get(name, base.fields.get(name))
+                for name in self.field_names
+            }
+            ckpt = Checkpoint(iteration=iteration, fields=arrays)
+            to_validate = fresh
+            copied = sum(arr.nbytes for arr in fresh.values())
+        else:
+            ckpt = self._snapshot(port, iteration)
+            to_validate = ckpt.fields
+            copied = sum(arr.nbytes for arr in ckpt.fields.values())
+        bad = self._validate_arrays(to_validate, port.h)
         if bad:
             raise CorruptionError(
                 f"non-finite values in field(s) {', '.join(bad)} "
@@ -102,9 +173,17 @@ class CheckpointManager:
             anchor_peak = float(np.abs(self.anchor.fields[F.U][h:-h, h:-h]).max())
             peak = float(np.abs(ckpt.fields[F.U][h:-h, h:-h]).max())
             if peak > PLAUSIBLE_GROWTH * max(anchor_peak, 1.0):
-                return  # diverging state: keep the last good snapshot
+                return False  # diverging state: keep the last good snapshot
+        if scalars:
+            ckpt.scalars = dict(scalars)
+        self.periodic_bytes_copied += copied
+        self.periodic_bytes_full += sum(
+            arr.nbytes for arr in ckpt.fields.values()
+        )
+        self.last_capture_bytes = copied
         self.latest = ckpt
         self.taken += 1
+        return True
 
     # ------------------------------------------------------------------ #
     def restore(self, port, anchor: bool = False) -> int:
@@ -112,6 +191,12 @@ class CheckpointManager:
         ckpt = self.anchor if anchor else self.latest
         if ckpt is None:
             raise CorruptionError("no checkpoint available to roll back to")
+        # Offload ports must not serve stale device copies (or stale host
+        # mirrors) of fields we are about to overwrite through the host
+        # interface.
+        invalidate = getattr(port, "invalidate_residency", None)
+        if invalidate is not None:
+            invalidate(tuple(ckpt.fields))
         for name, arr in ckpt.fields.items():
             port.write_field(name, arr)
         # Neighbour/reflective halos of u must be consistent before the

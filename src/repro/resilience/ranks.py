@@ -47,6 +47,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core import fields as F
+from repro.models.plan import BarrierStep, Bind, KernelCall, Plan, executor_for
 from repro.util.errors import RankFailureError
 
 #: Fields snapshotted per chunk — the minimal set from which
@@ -55,6 +56,19 @@ SNAPSHOT_FIELDS: tuple[str, ...] = (F.DENSITY, F.ENERGY0, F.ENERGY1, F.U)
 
 #: Recognised values of ``tl_rank_policy``.
 RANK_POLICIES = ("none", "spare", "shrink")
+
+#: The bootstrap fragment replayed on a repaired port: enter the solve
+#: data region and rebuild u0/kx/ky from the restored density/energy.
+#: Recovery re-executes the same compiled :class:`Plan` the driver's
+#: prologue uses (via the port's attached executor, so fusion and
+#: resilience instrumentation apply) rather than calling shim methods.
+RECOVERY_PLAN = Plan(
+    "rank_recovery",
+    (
+        BarrierStep("begin_solve"),
+        KernelCall("tea_leaf_init", (Bind("dt"), Bind("coefficient"))),
+    ),
+)
 
 
 @dataclass
@@ -234,11 +248,13 @@ class RankRecovery:
             )
             adopted.set_state(snap.fields[F.DENSITY], snap.fields[F.ENERGY0])
             adopted.write_field(F.ENERGY1, snap.fields[F.ENERGY1])
-            adopted.begin_solve()
             # Rebuilds u0/kx/ky from the snapshot density; the snapshot's
             # halo-inclusive arrays carry the neighbour ghosts, so the
             # coefficients come out bit-identical to the originals.
-            adopted.tea_leaf_init(port._dt, port._coefficient)
+            executor_for(adopted).run(
+                RECOVERY_PLAN,
+                {"dt": port._dt, "coefficient": port._coefficient},
+            )
             adopted.write_field(F.U, snap.fields[F.U])
             port.ports[chunk] = adopted
             port.rank_of_chunk[chunk] = spare
@@ -272,8 +288,13 @@ class RankRecovery:
         port._rebuild(len(survivors), models)
         port.set_state(globals_[F.DENSITY], globals_[F.ENERGY0])
         port.write_field(F.ENERGY1, globals_[F.ENERGY1])
-        port.begin_solve()
-        port.tea_leaf_init(port._dt, port._coefficient)
+        # _rebuild mutates the ensemble in place, so the executor the
+        # driver attached (fusion + resilience instrumentation included)
+        # replays the same compiled bootstrap plan over the new layout.
+        executor_for(port).run(
+            RECOVERY_PLAN,
+            {"dt": port._dt, "coefficient": port._coefficient},
+        )
         port.write_field(F.U, globals_[F.U])
         port.update_halo((F.U,), depth=1)
         self.spare_pool = []

@@ -1,14 +1,18 @@
 """Recovery orchestration: config, the manager, and the resilient solver.
 
-:class:`ResilientSolver` wraps any TeaLeaf solver and drives it through a
-:class:`~repro.resilience.guard.GuardedPort`.  When a detector fires —
-non-finite reduction scalar, corrupted checkpoint field, residual
-divergence, injected kernel failure, lost halo message, or an exhausted
-iteration budget — it rolls the fields back to a checkpoint and retries,
-with exponential backoff and bounded attempts.  Chebyshev and PPCG
-degrade to plain CG instead of retrying themselves: their eigenvalue
-bootstrap is the fragile phase, and CG is the robust baseline every port
-implements, so a run finishes with a degradation report instead of dying.
+:class:`ResilientSolver` wraps any TeaLeaf solver and drives it through
+the plan executor's *instrumented* compilation: fault triggers and
+isfinite/divergence guards are explicit plan steps (``FaultStep`` /
+``GuardStep``), so detection composes with kernel fusion and residency
+tracking instead of living in a per-method proxy that fused dispatch
+would bypass.  When a detector fires — non-finite reduction scalar,
+corrupted checkpoint field, residual divergence, injected kernel
+failure, lost halo message, or an exhausted iteration budget — it rolls
+the fields back to a checkpoint and retries, with exponential backoff
+and bounded attempts.  Chebyshev and PPCG degrade to plain CG instead of
+retrying themselves: their eigenvalue bootstrap is the fragile phase,
+and CG is the robust baseline every port implements, so a run finishes
+with a degradation report instead of dying.
 
 Rollback target policy: pointwise corruption (NaN/bitflip/lost message)
 restores the *latest* periodic checkpoint — at most one checkpoint
@@ -49,7 +53,6 @@ from repro.resilience.events import (
     ResilienceReport,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, parse_injections
-from repro.resilience.guard import GuardedPort
 from repro.util.errors import (
     CommError,
     ConvergenceError,
@@ -123,6 +126,19 @@ class ResilienceManager:
         self.iteration = 0
         #: Driver timestep, set by TeaLeaf.step() for event attribution.
         self.current_step = 0
+        #: Fields written since the last checkpoint capture (the write
+        #: journal fed by the instrumented plan executor).  Incremental
+        #: checkpoints copy only these; everything else is shared from the
+        #: previous snapshot.
+        self.dirty_since_checkpoint: set[str] = set()
+        #: True once an executor has started journalling writes — legacy
+        #: drivers (GuardedPort harnesses) never set it, so they keep the
+        #: conservative full-snapshot behaviour.
+        self._journal_active = False
+        #: Last-seen solver scalars (rro/beta/eigen estimates...), captured
+        #: into checkpoints and restored on rollback so a resumed solve is
+        #: not paired with scalars from the rolled-back attempt.
+        self.scalar_state: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # event log
@@ -151,6 +167,16 @@ class ResilienceManager:
         if self.plan:
             self.plan.kernel_called(name)
 
+    def note_writes(self, names) -> None:
+        """Journal fields a plan step wrote (instrumented executor only)."""
+        self._journal_active = True
+        self.dirty_since_checkpoint.update(names)
+
+    def note_scalar(self, name: str, value) -> None:
+        """Record a solver scalar for checkpoint capture."""
+        if isinstance(value, (int, float)):
+            self.scalar_state[name] = float(value)
+
     def guard_scalar(self, name: str, value: float) -> float:
         # The solvers' own Solver._finite guard covers their scalars; this
         # duplicates it for reductions the solver consumes unchecked.
@@ -172,6 +198,9 @@ class ResilienceManager:
                 arr = port.read_field(spec.target)
                 self.plan.apply_field_fault(index, arr, port.h)
                 port.write_field(spec.target, arr)
+                # The corrupted field must be re-copied (and therefore
+                # re-validated) by the next incremental capture.
+                self.dirty_since_checkpoint.add(spec.target)
             for index, spec in self.plan.rank_kills_due(self.iteration):
                 self._fire_rank_kill(port, index)
         dead = self._dead_chunks(port)
@@ -180,8 +209,19 @@ class ResilienceManager:
             # so both cut the run at the same consistent iteration.
             if self.checkpoints.due(self.iteration):
                 self._buddy_capture(port)
-                self.checkpoints.capture_periodic(port, self.iteration)
+                captured = self.checkpoints.capture_periodic(
+                    port,
+                    self.iteration,
+                    dirty=self.dirty_since_checkpoint
+                    if self._journal_active
+                    else None,
+                    scalars=dict(self.scalar_state),
+                )
                 self.report.checkpoints_taken = self.checkpoints.taken
+                if captured:
+                    # A refused (diverging) capture keeps accumulating: the
+                    # last *good* snapshot is still the sharing baseline.
+                    self.dirty_since_checkpoint.clear()
         if (
             self.config.heartbeat_interval > 0
             and self.iteration % self.config.heartbeat_interval == 0
@@ -240,9 +280,13 @@ class ResilienceManager:
             )
 
     def eigen_filter(self, estimate):
-        if not self.plan:
-            return estimate
-        return self.plan.filter_eigen_estimate(estimate)
+        if self.plan:
+            estimate = self.plan.filter_eigen_estimate(estimate)
+        # The (possibly corrupted) bootstrap scalars the solver will run
+        # with belong to the checkpointable solver state.
+        self.note_scalar("eigen_min", estimate.eigen_min)
+        self.note_scalar("eigen_max", estimate.eigen_max)
+        return estimate
 
     # ------------------------------------------------------------------ #
     # recovery actions
@@ -250,8 +294,11 @@ class ResilienceManager:
     def begin_solve(self, port) -> None:
         self.monitor.reset()
         self._buddy_capture(port)
-        self.checkpoints.capture_anchor(port, self.iteration)
+        self.checkpoints.capture_anchor(
+            port, self.iteration, scalars=dict(self.scalar_state)
+        )
         self.report.checkpoints_taken = self.checkpoints.taken
+        self.dirty_since_checkpoint.clear()
 
     def validate_solution(self, port) -> None:
         bad = non_finite_fields(port, (F.U,))
@@ -263,6 +310,14 @@ class ResilienceManager:
     def rollback(self, port, anchor: bool = False) -> None:
         target = "anchor" if anchor else "latest checkpoint"
         restored = self.checkpoints.restore(port, anchor=anchor)
+        # Solver scalars from the rolled-back attempt are inconsistent
+        # with the restored fields; resume from the checkpoint's.
+        ckpt = self.checkpoints.anchor if anchor else self.checkpoints.latest
+        if ckpt is not None:
+            self.scalar_state = dict(ckpt.scalars)
+        # The port now matches the restored snapshot exactly, so the
+        # sharing baseline is clean again.
+        self.dirty_since_checkpoint.clear()
         self.record(
             ROLLBACK,
             f"restored {target} (iteration {restored}) into "
@@ -351,14 +406,23 @@ class ResilientSolver(Solver):
 
     def solve(self, port, deck: Deck) -> SolveResult:
         m = self.manager
-        guarded = GuardedPort(port, m)
+        # Ensure the executor the solver will pick up (executor_for) runs
+        # the *instrumented* plan variant with our manager: fault triggers
+        # and scalar guards are plan steps, so they survive fusion and
+        # never bypass residency tracking.
+        from repro.models.plan import PlanExecutor, executor_for
+
+        ex = executor_for(port)
+        if getattr(ex, "resilience", None) is not m:
+            ex = PlanExecutor(port, fuse=ex.fuse, resilience=m)
+            port.plan_executor = ex
         m.begin_solve(port)
         solver: Solver = self.inner
         attempt = 0
         attempt_start = m.iteration
         while True:
             try:
-                result = solver.solve(guarded, deck)
+                result = solver.solve(port, deck)
                 m.validate_solution(port)
                 return result
             except RECOVERABLE_ERRORS as exc:

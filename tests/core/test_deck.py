@@ -164,6 +164,22 @@ class TestDeckValidation:
         with pytest.raises(DeckError, match="tl_inject"):
             Deck(tl_inject="frazzle:u:5", states=default_deck().states)
 
+    def test_rejects_spare_policy_without_spare_ranks(self):
+        with pytest.raises(DeckError, match="tl_spare_ranks"):
+            Deck(tl_rank_policy="spare", states=default_deck().states)
+
+    def test_rejects_spare_ranks_without_spare_policy(self):
+        with pytest.raises(DeckError, match="tl_rank_policy"):
+            Deck(tl_spare_ranks=2, states=default_deck().states)
+
+    def test_spare_policy_with_reserve_accepted(self):
+        deck = Deck(
+            tl_rank_policy="spare",
+            tl_spare_ranks=1,
+            states=default_deck().states,
+        )
+        assert (deck.tl_rank_policy, deck.tl_spare_ranks) == ("spare", 1)
+
 
 class TestHelpers:
     def test_default_deck_round_trip(self):

@@ -106,7 +106,17 @@ def test_mirror_returns_defensive_copies(model):
     assert not np.array_equal(first, again)
 
 
-def test_fusion_forced_off_under_fault_injection():
-    app, result = run("openmp-f90", tl_fuse_kernels=True, tl_inject="nan:u:5")
-    assert app.executor.fuse is False
-    assert result.resilience is not None and result.resilience.recoveries >= 1
+def test_fusion_stays_on_under_fault_injection():
+    """Injection/detection are plan steps at fusion-group boundaries, so
+    fusion no longer turns off under resilience — and the recovered run
+    is bitwise-identical to the unfused recovered run."""
+    base_app, base = run("openmp-f90", tl_inject="nan:u:5")
+    fused_app, fused = run(
+        "openmp-f90", tl_fuse_kernels=True, tl_inject="nan:u:5"
+    )
+    assert fused_app.executor.fuse is True
+    assert fused.resilience is not None and fused.resilience.recoveries >= 1
+    assert fused.resilience.recoveries == base.resilience.recoveries
+    assert np.array_equal(base_app.field(F.U), fused_app.field(F.U))
+    assert observables(base_app, base)[1:] == observables(fused_app, fused)[1:]
+    assert fused.trace.kernel_launches() < base.trace.kernel_launches()
