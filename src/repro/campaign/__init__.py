@@ -1,0 +1,49 @@
+"""Crash-safe campaign runtime: thousands of runs as one resumable object.
+
+The paper's evaluation is a campaign — every figure is a
+(model x solver x mesh x device) sweep — and this package makes that the
+unit of execution instead of the single run:
+
+* :mod:`repro.campaign.spec` — declarative grid specs with per-run
+  overrides and fault-profile axes;
+* :mod:`repro.campaign.store` — a content-addressed on-disk result
+  store: run key = hash of the fully-resolved config, finished runs are
+  never recomputed;
+* :mod:`repro.campaign.worker` — the per-run subprocess entry point
+  (file-based protocol, deterministic payloads, chaos hooks);
+* :mod:`repro.campaign.scheduler` — the resumable supervisor: retry
+  with exponential backoff + jitter on crashes, kill-and-retry on
+  hangs, poison runs marked ``failed`` without sinking the campaign,
+  optional recorded degradation to quick mode;
+* :mod:`repro.campaign.builtin` — named campaigns (``paper-figures``,
+  ``chaos-ensemble``) for the CLI.
+
+No campaign is ever lost to one bad run: SIGKILL a worker or the
+orchestrator at any instant and ``repro campaign resume`` completes the
+sweep from the store.
+"""
+
+from repro.campaign.builtin import BUILTIN_CAMPAIGNS, builtin_spec
+from repro.campaign.scheduler import (
+    EXIT_FAILURES,
+    EXIT_OK,
+    EXIT_SPEC_INVALID,
+    CampaignOutcome,
+    CampaignScheduler,
+)
+from repro.campaign.spec import CampaignSpec, RunConfig, run_key
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CampaignOutcome",
+    "CampaignScheduler",
+    "CampaignSpec",
+    "EXIT_FAILURES",
+    "EXIT_OK",
+    "EXIT_SPEC_INVALID",
+    "ResultStore",
+    "RunConfig",
+    "builtin_spec",
+    "run_key",
+]

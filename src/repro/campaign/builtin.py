@@ -1,0 +1,86 @@
+"""Built-in campaign specs, addressable by name from the CLI.
+
+``paper-figures`` is the headline: regenerating every table and figure
+of the paper becomes one resumable ``repro campaign launch paper-figures``
+command driving the :mod:`repro.harness.experiments` registry —
+SIGKILL it at any point and ``repro campaign resume`` picks up with zero
+recomputation of finished experiments.
+
+``chaos-ensemble`` demonstrates fault profiles as campaign axes: each
+grid point solves the same problem while the resilience layer is fed a
+different fault (including killing a rank mid-solve), so one campaign
+measures the whole recovery envelope.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec
+from repro.util.errors import CampaignError
+
+__all__ = ["BUILTIN_CAMPAIGNS", "builtin_spec"]
+
+
+def paper_figures(quick: bool = False) -> CampaignSpec:
+    from repro.harness.experiments import EXPERIMENTS
+
+    return CampaignSpec(
+        name="paper-figures",
+        kind="experiment",
+        axes={"experiment": tuple(EXPERIMENTS)},
+        defaults={"quick": quick},
+        retries=2,
+        timeout_seconds=1800.0,
+        backoff_base_seconds=0.5,
+        allow_quick_fallback=not quick,
+        max_workers=4,
+    )
+
+
+def chaos_ensemble(quick: bool = False) -> CampaignSpec:
+    mesh = 48 if quick else 96
+    return CampaignSpec(
+        name="chaos-ensemble",
+        kind="solve",
+        axes={
+            "model": ("openmp-f90", "kokkos"),
+            "faults": ("", "nan:u:5", "delay:p:6", "kill:1:8"),
+        },
+        defaults={
+            "mesh": mesh,
+            "steps": 2,
+            "eps": 1e-10,
+            "resilient": True,
+        },
+        overrides=(
+            # Rank kills need a decomposed ensemble and a recovery policy.
+            (
+                {"faults": "kill:1:8"},
+                {"ranks": 4, "rank_policy": "spare", "spare_ranks": 1},
+            ),
+            # Stragglers only exist between ranks.
+            ({"faults": "delay:p:6"}, {"ranks": 4}),
+        ),
+        retries=2,
+        timeout_seconds=600.0,
+        backoff_base_seconds=0.25,
+        allow_quick_fallback=True,
+        quick_mesh=32,
+        max_workers=2,
+    )
+
+
+BUILTIN_CAMPAIGNS = {
+    "paper-figures": paper_figures,
+    "chaos-ensemble": chaos_ensemble,
+}
+
+
+def builtin_spec(name: str, quick: bool = False) -> CampaignSpec:
+    try:
+        factory = BUILTIN_CAMPAIGNS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown built-in campaign '{name}' "
+            f"(available: {', '.join(BUILTIN_CAMPAIGNS)})"
+        ) from None
+    return factory(quick=quick)

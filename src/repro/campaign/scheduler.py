@@ -1,0 +1,443 @@
+"""Resumable campaign scheduler with worker supervision.
+
+The scheduler drives a :class:`~repro.campaign.spec.CampaignSpec` through
+a local pool of worker subprocesses, supervising each run for the three
+real failure modes:
+
+* **crash** — the worker exits non-zero, dies on a signal, or leaves a
+  missing/torn outcome file: retried with exponential backoff + jitter
+  (shared :mod:`repro.util.retry` schedule, seeded per run key so a
+  replayed campaign backs off identically) up to the per-run budget;
+* **hang** — the worker outlives the per-run wall-clock timeout: killed,
+  recorded as ``timeout``, retried like a crash;
+* **poison** — the budget is exhausted: the run is marked ``failed`` and
+  the campaign *continues*; the overall exit is non-zero only at the
+  end, with the failure manifest naming every poison run.
+
+Graceful degradation: when the spec allows it, a run that keeps failing
+at full scale gets one final attempt at quick scale and is recorded as
+``degraded`` — visible in the manifest, never silently substituted.
+
+Crash safety is inherited from the store contract: completed runs live
+in ``result.json`` files written atomically by this process only, so
+SIGKILLing the orchestrator at any instant loses at most the in-flight
+attempts.  ``resume`` is simply a relaunch: finished runs are served
+from the store (counted as hits — zero recomputation), everything else
+re-enters the pool with its attempt budget already debited by the
+recorded history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.campaign.spec import CampaignSpec, RunConfig
+from repro.campaign.store import ResultStore
+from repro.util.retry import RetryPolicy
+
+__all__ = ["CampaignOutcome", "CampaignScheduler", "EXIT_OK", "EXIT_SPEC_INVALID", "EXIT_FAILURES"]
+
+#: Distinct exit codes for the campaign CLI.
+EXIT_OK = 0
+#: Spec invalid / store mismatch (argparse uses 2 for usage errors too).
+EXIT_SPEC_INVALID = 2
+#: The campaign completed, but with failed (poison) runs.
+EXIT_FAILURES = 3
+
+#: Scheduler poll interval in seconds.
+_TICK = 0.02
+
+
+@dataclass
+class CampaignOutcome:
+    """What one launch/resume pass accomplished."""
+
+    manifest: dict
+    #: Completed runs served from the store without recomputation.
+    reused: int
+    #: Runs this pass actually executed (one or more attempts).
+    executed: int
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.manifest["complete"])
+
+    @property
+    def failures(self) -> int:
+        return int(self.manifest["failures"])
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FAILURES if self.failures else EXIT_OK
+
+
+@dataclass
+class _RunState:
+    run: RunConfig
+    #: Attempts already debited (recorded history + this pass).
+    attempts_used: int = 0
+    degraded_used: int = 0
+    degraded: bool = False
+    degraded_config: dict | None = None
+    #: Monotonic time before which this run must not be (re)started.
+    ready_at: float = 0.0
+    last_error: dict | None = None
+    proc: subprocess.Popen | None = None
+    log_handle: object = None
+    started_at: float = 0.0
+    attempt_no: int = 0  # 1-based number of the in-flight attempt
+
+
+class CampaignScheduler:
+    """Supervises one campaign over a local worker-subprocess pool."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        *,
+        max_workers: int | None = None,
+        timeout_seconds: float | None | str = "spec",
+        retries: int | None = None,
+        log: Callable[[str], None] | None = None,
+        sleep: Callable[[float], None] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.max_workers = max_workers or spec.max_workers
+        #: "spec" = use the spec default; None = explicitly no timeout.
+        self.timeout_seconds = (
+            spec.timeout_seconds if timeout_seconds == "spec" else timeout_seconds
+        )
+        self.retries = spec.retries if retries is None else retries
+        self._log = log or (lambda line: None)
+        self._sleep = sleep or time.sleep
+        self._clock = clock or time.monotonic
+        self.backoff_policy = RetryPolicy(
+            base_seconds=spec.backoff_base_seconds,
+            factor=spec.backoff_factor,
+            jitter=spec.backoff_jitter,
+            max_delay_seconds=spec.backoff_max_seconds,
+            max_retries=self.retries,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the campaign loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> CampaignOutcome:
+        runs = self.spec.expand()
+        self.store.initialize(self.spec)
+        self._pending: list[_RunState] = []
+        self._active: list[_RunState] = []
+        for run in runs:
+            if self.store.has_result(run.key):
+                self.store.hits += 1
+                continue
+            self.store.misses += 1
+            state = _RunState(run=run)
+            # Debit attempts a killed orchestrator already recorded, so a
+            # poison run cannot un-exhaust its budget by crashing us.
+            for record in self.store.attempts(run.key):
+                if record.get("degraded"):
+                    state.degraded_used += 1
+                else:
+                    state.attempts_used += 1
+                if record.get("error"):
+                    state.last_error = record["error"]
+            self._pending.append(state)
+        self._log(
+            f"campaign {self.spec.name}: {len(runs)} run(s), "
+            f"{self.store.hits} already complete (reused), "
+            f"{len(self._pending)} to execute"
+        )
+
+        try:
+            while self._pending or self._active:
+                self._reap()
+                self._fill()
+                if self._pending or self._active:
+                    self._sleep(_TICK)
+        finally:
+            for state in self._active:
+                self._kill_worker(state)
+        manifest = self.store.write_manifest(self.spec, runs)
+        outcome = CampaignOutcome(
+            manifest=manifest,
+            reused=self.store.hits,
+            executed=self.store.misses,
+        )
+        self._log(
+            f"campaign {self.spec.name}: "
+            f"{manifest['counts']['ok']} ok, "
+            f"{manifest['counts']['degraded']} degraded, "
+            f"{manifest['counts']['failed']} failed, "
+            f"{manifest['counts']['pending']} pending "
+            f"({outcome.reused} reused, {outcome.executed} executed)"
+        )
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # starting workers
+    # ------------------------------------------------------------------ #
+    def _fill(self) -> None:
+        now = self._clock()
+        for state in list(self._pending):
+            if len(self._active) >= self.max_workers:
+                return
+            if state.ready_at > now:
+                continue
+            # Budget checks happen at schedule time so resumed history
+            # (or a budget of zero retries) finalises without a spawn.
+            if not state.degraded and state.attempts_used > self.retries:
+                if not self._try_degrade(state):
+                    self._pending.remove(state)
+                    self._finalize_failed(state)
+                    continue
+            if state.degraded and state.degraded_used > 0:
+                self._pending.remove(state)
+                self._finalize_failed(state)
+                continue
+            self._pending.remove(state)
+            self._spawn(state)
+            self._active.append(state)
+
+    def _spawn(self, state: _RunState) -> None:
+        run_dir = self.store.ensure_run(state.run)
+        config_name = "config.json"
+        if state.degraded:
+            config_name = "config-degraded.json"
+            from repro.campaign.store import write_json_atomic
+
+            write_json_atomic(
+                run_dir / config_name,
+                {
+                    "key": state.run.key,
+                    "axes": state.run.axes,
+                    "run": state.degraded_config,
+                },
+                pretty=True,
+            )
+        state.attempt_no = state.attempts_used + state.degraded_used + 1
+        log_path = run_dir / f"worker-{state.attempt_no}.log"
+        state.log_handle = log_path.open("wb")
+        env = os.environ.copy()
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        state.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.campaign.worker",
+                "--run-dir",
+                str(run_dir),
+                "--attempt",
+                str(state.attempt_no),
+                "--config",
+                config_name,
+            ],
+            stdout=state.log_handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        state.started_at = self._clock()
+        mode = " (degraded/quick)" if state.degraded else ""
+        self._log(
+            f"run {state.run.label()} [{state.run.key}]: "
+            f"attempt {state.attempt_no}{mode} started (pid {state.proc.pid})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # reaping workers
+    # ------------------------------------------------------------------ #
+    def _reap(self) -> None:
+        for state in list(self._active):
+            proc = state.proc
+            assert proc is not None
+            rc = proc.poll()
+            timed_out = False
+            if rc is None:
+                if (
+                    self.timeout_seconds is not None
+                    and self._clock() - state.started_at > self.timeout_seconds
+                ):
+                    self._kill_worker(state)
+                    proc.wait()
+                    timed_out = True
+                else:
+                    continue
+            self._active.remove(state)
+            self._close_log(state)
+            self._settle(state, timed_out=timed_out)
+
+    def _settle(self, state: _RunState, *, timed_out: bool) -> None:
+        """Classify one finished attempt and decide what happens next."""
+        proc = state.proc
+        assert proc is not None
+        run_dir = self.store.run_dir(state.run.key)
+        duration = self._clock() - state.started_at
+        outcome_path = run_dir / f"out-{proc.pid}.json"
+        outcome = None
+        if not timed_out and outcome_path.exists():
+            try:
+                outcome = json.loads(outcome_path.read_text())
+            except json.JSONDecodeError:
+                outcome = None  # torn write: the worker died mid-dump
+        if outcome_path.exists():
+            outcome_path.unlink()
+
+        rc = proc.returncode
+        if timed_out:
+            kind = "timeout"
+            error = {
+                "type": "timeout",
+                "message": f"run exceeded its {self.timeout_seconds}s "
+                "wall-clock timeout and was killed",
+            }
+        elif rc == 0 and outcome is not None and outcome.get("ok"):
+            self._complete(state, outcome["payload"], duration)
+            return
+        elif rc == 0 and outcome is not None:
+            kind = "error"
+            error = outcome.get("error") or {"type": "unknown", "message": ""}
+        else:
+            kind = "crash"
+            error = {
+                "type": "crash",
+                "message": (
+                    f"worker died on signal {-rc}"
+                    if rc is not None and rc < 0
+                    else f"worker exited with code {rc} "
+                    "without writing an outcome"
+                ),
+                "exitcode": rc,
+            }
+
+        state.last_error = error
+        if state.degraded:
+            state.degraded_used += 1
+        else:
+            state.attempts_used += 1
+
+        # Backoff before the next attempt of this run (deterministic per
+        # (key, attempt) so a replayed campaign sleeps the same schedule).
+        retrying = (
+            not state.degraded and state.attempts_used <= self.retries
+        ) or (state.degraded and state.degraded_used <= 0)
+        backoff = 0.0
+        if retrying:
+            rng = random.Random(f"{state.run.key}:{state.attempt_no}")
+            backoff = self.backoff_policy.delay_seconds(state.attempt_no, rng)
+            state.ready_at = self._clock() + backoff
+        self.store.record_attempt(
+            state.run.key,
+            {
+                "attempt": state.attempt_no,
+                "degraded": state.degraded,
+                "outcome": kind,
+                "duration_seconds": round(duration, 6),
+                "exitcode": rc,
+                "error": error,
+                "backoff_seconds": round(backoff, 6),
+            },
+        )
+        self._log(
+            f"run {state.run.label()} [{state.run.key}]: "
+            f"attempt {state.attempt_no} {kind} ({error['message']})"
+            + (f"; retrying in {backoff:.2f}s" if retrying else "")
+        )
+        if retrying:
+            self._requeue(state)
+        elif not state.degraded and self._try_degrade(state):
+            self._requeue(state)
+        else:
+            self._finalize_failed(state)
+
+    def _requeue(self, state: _RunState) -> None:
+        state.proc = None
+        state.attempt_no = 0
+        self._pending.append(state)
+
+    def _complete(self, state: _RunState, payload: dict, duration: float) -> None:
+        self.store.record_attempt(
+            state.run.key,
+            {
+                "attempt": state.attempt_no,
+                "degraded": state.degraded,
+                "outcome": "ok",
+                "duration_seconds": round(duration, 6),
+                "exitcode": 0,
+                "error": None,
+                "backoff_seconds": 0.0,
+            },
+        )
+        status = "degraded" if state.degraded else "ok"
+        self.store.write_result(
+            state.run.key,
+            status=status,
+            config=state.run.resolved,
+            payload=payload,
+            degraded_config=state.degraded_config if state.degraded else None,
+        )
+        self._log(
+            f"run {state.run.label()} [{state.run.key}]: {status} "
+            f"after {state.attempt_no} attempt(s) ({duration:.2f}s)"
+        )
+
+    def _finalize_failed(self, state: _RunState) -> None:
+        self.store.write_result(
+            state.run.key,
+            status="failed",
+            config=state.run.resolved,
+            error=state.last_error
+            or {"type": "unknown", "message": "retry budget exhausted"},
+        )
+        self._log(
+            f"run {state.run.label()} [{state.run.key}]: FAILED "
+            f"(retries exhausted; campaign continues)"
+        )
+
+    def _try_degrade(self, state: _RunState) -> bool:
+        """Switch a budget-exhausted run to its quick fallback, if any."""
+        if state.degraded or state.degraded_used > 0:
+            return False
+        degraded = self.spec.degraded_variant(state.run.resolved)
+        if degraded is None:
+            return False
+        state.degraded = True
+        state.degraded_config = degraded
+        state.ready_at = 0.0
+        self._log(
+            f"run {state.run.label()} [{state.run.key}]: degrading to "
+            "quick mode after repeated full-scale failures"
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _kill_worker(self, state: _RunState) -> None:
+        if state.proc is not None and state.proc.poll() is None:
+            try:
+                state.proc.kill()
+            except OSError:
+                pass
+        self._close_log(state)
+
+    def _close_log(self, state: _RunState) -> None:
+        if state.log_handle is not None:
+            try:
+                state.log_handle.close()
+            except OSError:
+                pass
+            state.log_handle = None

@@ -1,0 +1,238 @@
+"""Content-addressed on-disk result store for campaigns.
+
+Layout (everything under one campaign root directory)::
+
+    <root>/
+        campaign.json            # the frozen spec this store belongs to
+        manifest.json            # derived summary (rewritten at the end)
+        runs/<key>/
+            config.json          # fully-resolved run config (key = its hash)
+            config-degraded.json # quick-mode fallback config, if degraded
+            attempts.jsonl       # one line per attempt: outcome, timing,
+                                 # backoff, exit status (parent-written)
+            out-<pid>.json       # the worker's raw outcome (worker-written)
+            worker-<n>.log       # captured worker stdout/stderr
+            result.json          # terminal record; its existence IS the
+                                 # "finished, never recompute" marker
+
+Durability rules:
+
+* every JSON file is written to a temp name and ``os.replace``d into
+  place, so a SIGKILL at any instant leaves either the old file or the
+  new one, never a torn write;
+* only the orchestrator writes ``result.json`` / ``attempts.jsonl``;
+  workers write only their own ``out-<pid>.json``, so an orphaned worker
+  surviving a killed orchestrator can never corrupt the store;
+* ``result.json`` holds only deterministic content (status, resolved
+  config, physics/check payload) — timings live in ``attempts.jsonl`` —
+  so an interrupted-and-resumed campaign is byte-identical to an
+  uninterrupted one on every completed run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.campaign.spec import CampaignSpec, RunConfig, canonical_json
+from repro.util.errors import CampaignError
+
+__all__ = ["ResultStore", "write_json_atomic"]
+
+#: Terminal statuses a run can end in.
+TERMINAL_STATUSES = ("ok", "degraded", "failed")
+
+
+def write_json_atomic(path: Path, data: Any, *, pretty: bool = False) -> None:
+    """Write JSON durably: temp file + atomic rename, deterministic bytes."""
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    if pretty:
+        text = json.dumps(data, sort_keys=True, indent=2) + "\n"
+    else:
+        text = canonical_json(data) + "\n"
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """One campaign's on-disk state; all mutation is atomic per file."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        #: Completed runs served from disk without recomputation (the
+        #: resume accounting the crash-safety tests assert on).
+        self.hits = 0
+        #: Runs that actually had to execute.
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # campaign-level state
+    # ------------------------------------------------------------------ #
+    @property
+    def spec_path(self) -> Path:
+        return self.root / "campaign.json"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def exists(self) -> bool:
+        return self.spec_path.exists()
+
+    def initialize(self, spec: CampaignSpec) -> None:
+        """Create the store (idempotent for an identical spec).
+
+        Re-initialising with a *different* spec is refused: a store is
+        content-addressed against exactly one resolved grid.
+        """
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        if self.exists():
+            frozen = self.load_spec()
+            if frozen.to_dict() != spec.to_dict():
+                raise CampaignError(
+                    f"store {self.root} already holds campaign "
+                    f"'{frozen.name}' with a different spec; use a new "
+                    "--store directory (or delete this one) to change the grid"
+                )
+            return
+        write_json_atomic(self.spec_path, spec.to_dict(), pretty=True)
+
+    def load_spec(self) -> CampaignSpec:
+        if not self.spec_path.exists():
+            raise CampaignError(
+                f"{self.root} is not a campaign store (no campaign.json); "
+                "launch the campaign first"
+            )
+        return CampaignSpec.from_file(self.spec_path)
+
+    # ------------------------------------------------------------------ #
+    # per-run state
+    # ------------------------------------------------------------------ #
+    def run_dir(self, key: str) -> Path:
+        return self.runs_dir / key
+
+    def ensure_run(self, run: RunConfig) -> Path:
+        rdir = self.run_dir(run.key)
+        rdir.mkdir(parents=True, exist_ok=True)
+        config_path = rdir / "config.json"
+        if not config_path.exists():
+            write_json_atomic(
+                config_path,
+                {"key": run.key, "axes": run.axes, "run": run.resolved},
+                pretty=True,
+            )
+        return rdir
+
+    def has_result(self, key: str) -> bool:
+        return (self.run_dir(key) / "result.json").exists()
+
+    def load_result(self, key: str) -> dict | None:
+        path = self.run_dir(key) / "result.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def write_result(
+        self,
+        key: str,
+        *,
+        status: str,
+        config: dict,
+        payload: dict | None = None,
+        error: dict | None = None,
+        degraded_config: dict | None = None,
+    ) -> None:
+        if status not in TERMINAL_STATUSES:
+            raise CampaignError(f"bad terminal status '{status}'")
+        record: dict[str, Any] = {"key": key, "status": status, "config": config}
+        if payload is not None:
+            record["payload"] = payload
+        if error is not None:
+            record["error"] = error
+        if degraded_config is not None:
+            record["degraded_config"] = degraded_config
+        write_json_atomic(self.run_dir(key) / "result.json", record)
+
+    def record_attempt(self, key: str, attempt: dict) -> None:
+        """Append one attempt record (crash/timeout/error/ok + timing)."""
+        path = self.run_dir(key) / "attempts.jsonl"
+        with path.open("a") as fh:
+            fh.write(canonical_json(attempt) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def attempts(self, key: str) -> list[dict]:
+        path = self.run_dir(key) / "attempts.jsonl"
+        if not path.exists():
+            return []
+        records = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A torn trailing line from a killed orchestrator: the
+                # attempt it described never completed; ignore it.
+                continue
+        return records
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    def scan(self, runs: Iterable[RunConfig]) -> dict:
+        """Derive the campaign manifest from per-run state on disk."""
+        entries = []
+        counts = {s: 0 for s in TERMINAL_STATUSES}
+        counts["pending"] = 0
+        retries = timeouts = crashes = 0
+        backoff_total = 0.0
+        for run in runs:
+            result = self.load_result(run.key)
+            attempts = self.attempts(run.key)
+            status = result["status"] if result else "pending"
+            counts[status] += 1
+            run_retries = max(0, len(attempts) - 1)
+            run_timeouts = sum(1 for a in attempts if a["outcome"] == "timeout")
+            run_crashes = sum(1 for a in attempts if a["outcome"] == "crash")
+            run_backoff = sum(a.get("backoff_seconds", 0.0) for a in attempts)
+            retries += run_retries
+            timeouts += run_timeouts
+            crashes += run_crashes
+            backoff_total += run_backoff
+            entry = {
+                "key": run.key,
+                "label": run.label(),
+                "status": status,
+                "attempts": len(attempts),
+                "retries": run_retries,
+                "timeouts": run_timeouts,
+                "crashes": run_crashes,
+                "backoff_seconds": round(run_backoff, 6),
+            }
+            if result and result.get("error"):
+                entry["error"] = result["error"]
+            if result and status == "degraded":
+                entry["degraded_config"] = result.get("degraded_config")
+            entries.append(entry)
+        total = len(entries)
+        return {
+            "total": total,
+            "counts": counts,
+            "complete": counts["pending"] == 0,
+            "failures": counts["failed"],
+            "retries": retries,
+            "timeouts": timeouts,
+            "crashes": crashes,
+            "backoff_seconds": round(backoff_total, 6),
+            "runs": entries,
+        }
+
+    def write_manifest(self, spec: CampaignSpec, runs: Iterable[RunConfig]) -> dict:
+        manifest = {"name": spec.name, "kind": spec.kind, **self.scan(runs)}
+        write_json_atomic(self.manifest_path, manifest, pretty=True)
+        return manifest

@@ -1,0 +1,217 @@
+"""Campaign worker: executes exactly one resolved run in its own process.
+
+Invoked by the scheduler as::
+
+    python -m repro.campaign.worker --run-dir runs/<key> [--attempt N]
+        [--config config.json]
+
+The protocol is file-based, not pickle-based, so the failure surface is
+the real one: the worker reads ``config.json`` from the run directory,
+executes the run, and atomically writes ``out-<pid>.json``:
+
+* ``{"ok": true, "payload": {...}}`` — the run finished; the payload is
+  deterministic (physics/check content only, no timings);
+* ``{"ok": false, "error": {...}}`` — the run raised; the error is
+  recorded and the scheduler decides whether to retry.
+
+Anything else — a missing or torn out-file, a non-zero exit, death by
+signal — is a *crash* from the scheduler's point of view.  A result the
+worker cannot serialise to JSON is reported as an error (the in-process
+analogue of an unpicklable result poisoning a pool).
+
+Chaos profiles (``config["run"]["chaos"]``) let campaigns exercise the
+supervision machinery deterministically, keyed by 1-based attempt
+number (or ``"*"`` for every attempt)::
+
+    {"sigkill": [1]}   # die by SIGKILL on the first attempt
+    {"exit": [1, 2]}   # exit(13) on attempts 1 and 2
+    {"hang": [1]}      # never return (the scheduler's timeout kills us)
+    {"fail": "*"}      # raise CampaignChaosError every attempt (poison)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.util.errors import CampaignChaosError, ReproError
+
+__all__ = ["execute_run", "solve_payload", "experiment_payload", "main"]
+
+
+def _chaos_fires(chaos: Mapping[str, Any] | None, kind: str, attempt: int) -> bool:
+    if not chaos or kind not in chaos:
+        return False
+    attempts = chaos[kind]
+    return attempts == "*" or attempt in attempts
+
+
+def apply_process_chaos(chaos: Mapping[str, Any] | None, attempt: int) -> None:
+    """Process-level chaos: die, exit, or hang before doing any work."""
+    if _chaos_fires(chaos, "sigkill", attempt):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if _chaos_fires(chaos, "exit", attempt):
+        os._exit(13)
+    if _chaos_fires(chaos, "hang", attempt):
+        while True:  # the scheduler's wall-clock timeout reaps us
+            time.sleep(3600)
+
+
+def solve_payload(run: Mapping[str, Any]) -> dict:
+    """Execute one TeaLeaf solve; return its deterministic outcome."""
+    from repro.core.deck import default_deck, parse_deck_file
+    from repro.core.driver import TeaLeaf
+
+    if run["deck"]:
+        deck = parse_deck_file(run["deck"])
+        if run.get("solver"):
+            deck = deck.with_solver(run["solver"])
+    else:
+        deck = default_deck(
+            n=run["mesh"],
+            solver=run["solver"],
+            end_step=run["steps"],
+            eps=run["eps"],
+        )
+    overrides: dict[str, Any] = {}
+    if run["faults"]:
+        overrides["tl_inject"] = run["faults"]
+    if run["resilient"] or run["faults"]:
+        overrides["tl_resilient"] = True
+    if run["rank_policy"] != "none":
+        overrides["tl_rank_policy"] = run["rank_policy"]
+    if run["spare_ranks"]:
+        overrides["tl_spare_ranks"] = run["spare_ranks"]
+    if run["fuse"]:
+        overrides["tl_fuse_kernels"] = True
+    if run["residency"]:
+        overrides["tl_residency_tracking"] = True
+    if run["preconditioner"] != "none":
+        overrides["tl_preconditioner_type"] = run["preconditioner"]
+    overrides["tl_fault_seed"] = run["fault_seed"]
+    overrides["tl_max_retries"] = run["solver_retries"]
+    deck = dataclasses.replace(deck, **overrides)
+
+    if run["ranks"] > 1:
+        from repro.comm.multichunk import MultiChunkPort
+        from repro.models.tracing import Trace
+
+        trace = Trace()
+        port = MultiChunkPort(
+            deck.grid(),
+            run["ranks"],
+            model=run["model"],
+            trace=trace,
+            rank_policy=deck.tl_rank_policy,
+            spare_ranks=deck.tl_spare_ranks,
+        )
+        result = TeaLeaf(deck, port=port, trace=trace).run()
+    else:
+        result = TeaLeaf(deck, model=run["model"]).run()
+
+    summary = result.final_summary
+    payload: dict[str, Any] = {
+        "kind": "solve",
+        "iterations": result.total_iterations,
+        "steps": len(result.steps),
+    }
+    if summary is not None:
+        payload.update(
+            temperature=summary.temperature,
+            internal_energy=summary.internal_energy,
+            mass=summary.mass,
+            volume=summary.volume,
+        )
+    rep = result.resilience
+    if rep is not None:
+        # Counts and the backoff *schedule* are deterministic; wall time
+        # never enters the payload.
+        payload["resilience"] = {
+            "injections": rep.injections,
+            "detections": rep.detections,
+            "recoveries": rep.recoveries,
+            "retries": rep.retries,
+            "degradations": rep.degradations,
+            "rank_deaths": rep.rank_deaths,
+            "rank_recoveries": rep.rank_recoveries,
+            "backoff_seconds": rep.total_backoff_seconds,
+        }
+    return payload
+
+
+def experiment_payload(run: Mapping[str, Any]) -> dict:
+    """Execute one registered harness experiment; return its checks."""
+    from repro.harness.runner import run_experiment
+
+    result = run_experiment(run["experiment"], quick=run["quick"])
+    return {
+        "kind": "experiment",
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "passed": result.passed,
+        "checks": [
+            {"name": c.name, "passed": c.passed, "detail": c.detail}
+            for c in result.checks
+        ],
+        "rendered": result.rendered,
+    }
+
+
+def execute_run(run: Mapping[str, Any], attempt: int = 1) -> dict:
+    """Run one resolved config (chaos applied first); returns the payload."""
+    chaos = run.get("chaos")
+    apply_process_chaos(chaos, attempt)
+    if _chaos_fires(chaos, "fail", attempt):
+        raise CampaignChaosError(
+            f"injected campaign chaos failure (attempt {attempt})"
+        )
+    if run["kind"] == "experiment":
+        return experiment_payload(run)
+    return solve_payload(run)
+
+
+def _write_outcome(run_dir: Path, outcome: dict) -> None:
+    out = run_dir / f"out-{os.getpid()}.json"
+    tmp = out.with_name(out.name + ".tmp")
+    tmp.write_text(json.dumps(outcome, sort_keys=True))
+    os.replace(tmp, out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-campaign-worker")
+    parser.add_argument("--run-dir", required=True)
+    parser.add_argument("--attempt", type=int, default=1)
+    parser.add_argument("--config", default="config.json")
+    args = parser.parse_args(argv)
+
+    run_dir = Path(args.run_dir)
+    run = json.loads((run_dir / args.config).read_text())["run"]
+    try:
+        payload = execute_run(run, attempt=args.attempt)
+        # An unserialisable payload must surface as a recorded error, not
+        # a torn out-file (the unpicklable-result failure mode).
+        try:
+            json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"unserialisable run result: {exc}") from exc
+        _write_outcome(run_dir, {"ok": True, "payload": payload})
+    except Exception as exc:  # noqa: BLE001 - the record IS the handling
+        _write_outcome(
+            run_dir,
+            {
+                "ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            },
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

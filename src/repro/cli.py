@@ -150,6 +150,188 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_store_dir(target: str | None, store: str | None):
+    """Map a campaign target (store dir, builtin/spec name) to a store dir."""
+    from pathlib import Path
+
+    if store:
+        return Path(store)
+    if target:
+        p = Path(target)
+        if (p / "campaign.json").exists():
+            return p
+        return Path("campaigns") / target
+    return None
+
+
+def _load_campaign_spec(args: argparse.Namespace):
+    """Resolve the launch target to a validated CampaignSpec."""
+    from pathlib import Path
+
+    from repro.campaign import BUILTIN_CAMPAIGNS, CampaignSpec, builtin_spec
+
+    target = args.spec
+    if target in BUILTIN_CAMPAIGNS:
+        return builtin_spec(target, quick=args.quick)
+    path = Path(target)
+    if path.exists():
+        return CampaignSpec.from_file(path)
+    from repro.util.errors import CampaignError
+
+    raise CampaignError(
+        f"'{target}' is neither a built-in campaign "
+        f"({', '.join(BUILTIN_CAMPAIGNS)}) nor a spec file"
+    )
+
+
+def _campaign_scheduler(spec, store_dir, args):
+    from repro.campaign import CampaignScheduler, ResultStore
+
+    store = ResultStore(store_dir)
+    log = (lambda line: None) if getattr(args, "quiet", False) else print
+    return CampaignScheduler(
+        spec,
+        store,
+        max_workers=args.max_workers,
+        timeout_seconds="spec" if args.timeout is None else (
+            None if args.timeout <= 0 else args.timeout
+        ),
+        retries=args.retries,
+        log=log,
+    )
+
+
+def _cmd_campaign_launch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import EXIT_SPEC_INVALID
+    from repro.util.errors import CampaignError
+
+    try:
+        spec = _load_campaign_spec(args)
+        store_dir = (
+            Path(args.store) if args.store else Path("campaigns") / spec.name
+        )
+        scheduler = _campaign_scheduler(spec, store_dir, args)
+        outcome = scheduler.run()
+    except CampaignError as exc:
+        print(f"campaign spec invalid: {exc}", file=sys.stderr)
+        return EXIT_SPEC_INVALID
+    except KeyboardInterrupt:
+        print("campaign interrupted; `repro campaign resume` will pick up "
+              "from the store", file=sys.stderr)
+        return 130
+    print(f"store: {store_dir}")
+    return outcome.exit_code
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.campaign import EXIT_SPEC_INVALID, ResultStore
+    from repro.util.errors import CampaignError
+
+    store_dir = _resolve_store_dir(args.target, args.store)
+    if store_dir is None:
+        print("resume needs a campaign: a store dir, a campaign name, or "
+              "--store", file=sys.stderr)
+        return EXIT_SPEC_INVALID
+    try:
+        spec = ResultStore(store_dir).load_spec()
+        scheduler = _campaign_scheduler(spec, store_dir, args)
+        outcome = scheduler.run()
+    except CampaignError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return EXIT_SPEC_INVALID
+    except KeyboardInterrupt:
+        print("campaign interrupted; `repro campaign resume` will pick up "
+              "from the store", file=sys.stderr)
+        return 130
+    return outcome.exit_code
+
+
+def _campaign_manifest(args: argparse.Namespace):
+    from repro.campaign import ResultStore
+
+    store_dir = _resolve_store_dir(args.target, args.store)
+    if store_dir is None:
+        return None, None, None
+    store = ResultStore(store_dir)
+    spec = store.load_spec()
+    manifest = {"name": spec.name, "kind": spec.kind, **store.scan(spec.expand())}
+    return store, spec, manifest
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import EXIT_SPEC_INVALID
+    from repro.util.errors import CampaignError
+
+    try:
+        store, spec, manifest = _campaign_manifest(args)
+    except CampaignError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return EXIT_SPEC_INVALID
+    if manifest is None:
+        print("status needs a campaign: a store dir, a campaign name, or "
+              "--store", file=sys.stderr)
+        return EXIT_SPEC_INVALID
+    print(f"campaign {manifest['name']} ({manifest['kind']}): "
+          f"{manifest['total']} run(s)")
+    for run in manifest["runs"]:
+        extra = ""
+        if run["retries"]:
+            extra = (f"  retries={run['retries']} timeouts={run['timeouts']}"
+                     f" crashes={run['crashes']}"
+                     f" backoff={run['backoff_seconds']:.2f}s")
+        print(f"  [{run['status']:8s}] {run['label']}{extra}")
+    c = manifest["counts"]
+    print(f"{c['ok']} ok, {c['degraded']} degraded, {c['failed']} failed, "
+          f"{c['pending']} pending")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.campaign import EXIT_FAILURES, EXIT_SPEC_INVALID
+    from repro.util.errors import CampaignError
+
+    try:
+        store, spec, manifest = _campaign_manifest(args)
+    except CampaignError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return EXIT_SPEC_INVALID
+    if manifest is None:
+        print("report needs a campaign: a store dir, a campaign name, or "
+              "--store", file=sys.stderr)
+        return EXIT_SPEC_INVALID
+    store.write_manifest(spec, spec.expand())
+    if args.json:
+        print(_json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        print(f"campaign {manifest['name']} ({manifest['kind']})")
+        print(f"  runs     : {manifest['total']}")
+        for status in ("ok", "degraded", "failed", "pending"):
+            print(f"  {status:9s}: {manifest['counts'][status]}")
+        print(f"  retries  : {manifest['retries']} "
+              f"(timeouts={manifest['timeouts']}, crashes={manifest['crashes']}, "
+              f"total backoff={manifest['backoff_seconds']:.2f}s)")
+        failed = [r for r in manifest["runs"] if r["status"] == "failed"]
+        if failed:
+            print("  failure manifest:")
+            for run in failed:
+                err = run.get("error") or {}
+                print(f"    {run['label']} [{run['key']}]: "
+                      f"{err.get('type', '?')}: {err.get('message', '')} "
+                      f"({run['attempts']} attempt(s))")
+        degraded = [r for r in manifest["runs"] if r["status"] == "degraded"]
+        for run in degraded:
+            print(f"  degraded: {run['label']} [{run['key']}] fell back to "
+                  "quick mode")
+    if not manifest["complete"]:
+        print("campaign incomplete: `repro campaign resume` to continue",
+              file=sys.stderr)
+    return EXIT_FAILURES if manifest["failures"] else 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     print(f"{'name':12s} {'display':36s} {'CPU':12s} {'GPU':12s} {'KNC':12s}")
     for name in available_models():
@@ -402,6 +584,86 @@ def build_parser() -> argparse.ArgumentParser:
         "fault-injection triggers and isfinite/divergence guard steps",
     )
     plan.set_defaults(fn=_cmd_plan)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="crash-safe sweeps: launch/status/resume/report a campaign "
+        "of runs over a resumable result store",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(p, with_overrides: bool) -> None:
+        p.add_argument(
+            "--store",
+            help="campaign store directory (default: campaigns/<name>)",
+        )
+        if with_overrides:
+            p.add_argument(
+                "--max-workers", type=int, default=None,
+                help="worker-pool width (overrides the spec default)",
+            )
+            p.add_argument(
+                "--timeout", type=float, default=None, metavar="SECONDS",
+                help="per-run wall-clock timeout; overrides the spec "
+                "default, <= 0 disables the timeout",
+            )
+            p.add_argument(
+                "--retries", type=int, default=None,
+                help="per-run retry budget (overrides the spec default)",
+            )
+            p.add_argument(
+                "--quiet", action="store_true",
+                help="suppress per-run progress lines",
+            )
+
+    launch = campaign_sub.add_parser(
+        "launch",
+        help="launch (or idempotently continue) a campaign",
+        description="Exit codes: 0 = campaign complete; 3 = complete with "
+        "failed runs (see the failure manifest); 2 = spec invalid.",
+    )
+    launch.add_argument(
+        "spec",
+        help="built-in campaign name (paper-figures, chaos-ensemble) "
+        "or path to a JSON campaign spec",
+    )
+    launch.add_argument(
+        "--quick", action="store_true",
+        help="built-in campaigns only: run at quick scale",
+    )
+    _campaign_common(launch, with_overrides=True)
+    launch.set_defaults(fn=_cmd_campaign_launch)
+
+    resume = campaign_sub.add_parser(
+        "resume",
+        help="resume a campaign from its store (zero recomputation of "
+        "finished runs)",
+        description="Exit codes match `launch`: 0 complete, 3 complete "
+        "with failures, 2 spec/store invalid.",
+    )
+    resume.add_argument(
+        "target", nargs="?",
+        help="store directory or campaign name (default store layout)",
+    )
+    _campaign_common(resume, with_overrides=True)
+    resume.set_defaults(fn=_cmd_campaign_resume)
+
+    status = campaign_sub.add_parser(
+        "status", help="per-run status of a campaign store"
+    )
+    status.add_argument("target", nargs="?", help="store directory or campaign name")
+    _campaign_common(status, with_overrides=False)
+    status.set_defaults(fn=_cmd_campaign_status)
+
+    creport = campaign_sub.add_parser(
+        "report",
+        help="write + print the campaign manifest (retries, timeouts, "
+        "backoff, degradations, failure manifest)",
+    )
+    creport.add_argument("target", nargs="?", help="store directory or campaign name")
+    creport.add_argument("--json", action="store_true", help="print JSON")
+    _campaign_common(creport, with_overrides=False)
+    creport.set_defaults(fn=_cmd_campaign_report)
 
     exp = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     exp.add_argument(

@@ -37,6 +37,7 @@ from repro.core.grid import Grid2D
 from repro.models.base import Port, make_port
 from repro.models.tracing import Trace
 from repro.util.errors import CommTimeoutError, ModelError, RankFailureError
+from repro.util.retry import RetryPolicy, call_with_retries
 
 #: Message tags: (axis, direction) -> tag base; field index is added.
 _TAGS = {
@@ -104,6 +105,15 @@ class MultiChunkPort(Port):
         #: Optional ResilienceManager (for event records on retried
         #: exchanges); set by :meth:`attach_resilience`.
         self._manager = None
+        #: Straggler-timeout retry schedule for halo exchanges (shared
+        #: :mod:`repro.util.retry` implementation).  One immediate retry
+        #: by default — the historical semantics: a straggler's message
+        #: is already late, so the drained re-exchange needs no delay.
+        self.halo_retry_policy = RetryPolicy(
+            base_seconds=0.0, factor=2.0, jitter=0.0, max_retries=1
+        )
+        #: Injectable sleep for the (normally zero) halo backoff.
+        self._sleep = None
         # Imported lazily: repro.resilience pulls in the solver stack,
         # which the comm layer must not depend on at import time.
         from repro.resilience.ranks import RankRecovery
@@ -256,9 +266,8 @@ class MultiChunkPort(Port):
         self._check_ranks()
         for name in names:
             for lo, hi in ((Side.LEFT, Side.RIGHT), (Side.DOWN, Side.UP)):
-                try:
-                    self._exchange_axis(name, depth, lo, hi)
-                except CommTimeoutError as exc:
+
+                def repair(attempt: int, delay: float, exc: BaseException) -> None:
                     # A dead peer is a rank failure (recovery needs a
                     # policy); a straggler just needs the axis drained
                     # and retried — re-packing is idempotent.
@@ -271,13 +280,21 @@ class MultiChunkPort(Port):
                             f"drained {int(dropped)} message(s) "
                             f"{dict(dropped.per_rank)}",
                         )
-                    self._exchange_axis(name, depth, lo, hi)
-                    if self._manager is not None:
                         self._manager.record(
                             "retry",
-                            f"halo exchange of {name} retried after a "
-                            "straggler timeout",
+                            f"halo exchange of {name} retrying after a "
+                            f"straggler timeout (attempt {attempt}, "
+                            f"backoff {delay:.3f}s)",
+                            backoff_seconds=delay,
                         )
+
+                call_with_retries(
+                    lambda: self._exchange_axis(name, depth, lo, hi),
+                    policy=self.halo_retry_policy,
+                    retry_on=CommTimeoutError,
+                    sleep=self._sleep,
+                    on_retry=repair,
+                )
 
     def _neighbour(self, window: ChunkWindow, side: Side) -> int | None:
         return {

@@ -53,6 +53,7 @@ from repro.resilience.events import (
     ResilienceReport,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, parse_injections
+from repro.util.retry import RetryPolicy
 from repro.util.errors import (
     CommError,
     ConvergenceError,
@@ -367,9 +368,23 @@ class ResilienceManager:
             )
         return True
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The shared backoff schedule (see :mod:`repro.util.retry`).
+
+        Jitter-free so a resilient solve replays identically; the campaign
+        scheduler layers jitter on top of the same policy type.
+        """
+        return RetryPolicy(
+            base_seconds=self.config.backoff_base_seconds,
+            factor=2.0,
+            jitter=0.0,
+            max_retries=self.config.max_retries,
+        )
+
     def backoff_seconds(self, attempt: int) -> float:
         """The exponential backoff schedule (pure; asserted by tests)."""
-        return self.config.backoff_base_seconds * (2 ** (attempt - 1))
+        return self.retry_policy.delay_seconds(attempt)
 
     def retry_backoff(self, attempt: int) -> None:
         seconds = self.backoff_seconds(attempt)

@@ -18,6 +18,7 @@ from repro.util.units import (
     fmt_bandwidth,
 )
 from repro.util.timing import WallTimer, TimerRegistry
+from repro.util.retry import RetryPolicy, call_with_retries
 
 __all__ = [
     "ReproError",
@@ -35,4 +36,6 @@ __all__ = [
     "fmt_bandwidth",
     "WallTimer",
     "TimerRegistry",
+    "RetryPolicy",
+    "call_with_retries",
 ]

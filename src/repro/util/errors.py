@@ -125,6 +125,26 @@ class RankFailureError(CommError):
         self.dead_ranks = tuple(dead_ranks)
 
 
+class CampaignError(ReproError):
+    """A campaign spec is invalid or a campaign store is inconsistent.
+
+    Raised by :mod:`repro.campaign` when a declarative sweep spec fails
+    validation (unknown axis, bad fault profile, unregistered model or
+    experiment) or when a result store on disk does not match the spec it
+    is being resumed with.
+    """
+
+
+class CampaignChaosError(ReproError):
+    """An injected campaign-level chaos fault fired.
+
+    Only ever raised by the campaign worker when a run config carries a
+    ``chaos: {"fail": ...}`` profile — the campaign runtime's analogue of
+    ``raise:<kernel>:<n>`` fault specs, used to exercise worker
+    supervision (retry, backoff, poison-run) paths deterministically.
+    """
+
+
 class ModelError(ReproError):
     """A programming-model emulation was used incorrectly.
 

@@ -1,0 +1,120 @@
+"""Shared retry/backoff machinery.
+
+One implementation serves every layer that retries transient failures:
+
+* the resilience layer's rollback-and-retry backoff
+  (:class:`repro.resilience.recovery.ResilienceManager`);
+* the decomposed ensemble's straggler-timeout halo retries
+  (:class:`repro.comm.multichunk.MultiChunkPort`);
+* the campaign scheduler's crashed/hung worker retries
+  (:mod:`repro.campaign.scheduler`).
+
+The schedule is classic exponential backoff with optional jitter::
+
+    delay(attempt) = min(base * factor**(attempt-1), max_delay) * (1 + jitter*u)
+
+where ``u`` is drawn from an injectable RNG, so tests (and the campaign
+store, which must replay deterministically per run key) can pin the full
+schedule.  The sleep is injectable for the same reason: tests assert the
+*schedule*, never wall time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["RetryPolicy", "call_with_retries"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An exponential-backoff schedule plus a retry budget.
+
+    ``max_retries`` counts *retries*, not tries: a policy with
+    ``max_retries=2`` allows up to three calls in total.
+    """
+
+    #: First-retry delay; 0 disables sleeping (retry immediately).
+    base_seconds: float = 0.002
+    #: Multiplier applied per further retry (2.0 = classic doubling).
+    factor: float = 2.0
+    #: Extra random fraction added on top of the deterministic delay:
+    #: 0.0 = none (bit-reproducible schedule), 0.5 = up to +50%.
+    jitter: float = 0.0
+    #: Hard cap on a single delay (None = uncapped).
+    max_delay_seconds: float | None = None
+    #: How many times a failed call may be retried.
+    max_retries: int = 3
+    #: Total elapsed budget across all attempts (None = unbounded).
+    deadline_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0:
+            raise ValueError("base_seconds must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def delay_seconds(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry ``attempt`` (1-based).  Pure given ``rng``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = self.base_seconds * self.factor ** (attempt - 1)
+        if self.max_delay_seconds is not None:
+            delay = min(delay, self.max_delay_seconds)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def schedule(self, rng: random.Random | None = None) -> list[float]:
+        """The full delay schedule this policy would sleep through."""
+        return [
+            self.delay_seconds(a, rng) for a in range(1, self.max_retries + 1)
+        ]
+
+
+def call_with_retries(
+    fn: Callable[[], object],
+    *,
+    policy: RetryPolicy,
+    retry_on: type[BaseException] | tuple[type[BaseException], ...] = Exception,
+    sleep: Callable[[float], None] | None = None,
+    rng: random.Random | None = None,
+    clock: Callable[[], float] | None = None,
+    on_retry: Callable[[int, float, BaseException], None] | None = None,
+):
+    """Call ``fn`` until it succeeds or the policy's budget is exhausted.
+
+    ``on_retry(attempt, delay_seconds, exc)`` fires *before* each backoff
+    sleep, so callers can drain queues, log events, or repair state ahead
+    of the next attempt.  Exceptions outside ``retry_on`` propagate
+    immediately; an exhausted budget (or a blown deadline) re-raises the
+    *last* underlying exception unchanged, so callers keep seeing the
+    failure types they already handle.
+    """
+    sleep = time.sleep if sleep is None else sleep
+    clock = time.monotonic if clock is None else clock
+    start = clock()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise
+            delay = policy.delay_seconds(attempt, rng)
+            if policy.deadline_seconds is not None and (
+                clock() - start + delay > policy.deadline_seconds
+            ):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            if delay > 0:
+                sleep(delay)

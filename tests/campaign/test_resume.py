@@ -1,0 +1,143 @@
+"""Crash-safe resume: SIGKILL the worker and the orchestrator.
+
+The acceptance criterion for the campaign runtime: kill a worker
+mid-run, kill the orchestrator itself mid-campaign, and ``resume`` must
+complete the sweep with
+
+* completed-run results byte-identical to an uninterrupted campaign, and
+* zero recomputation of finished runs (asserted via store hit counting).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def spec_dict(chaos=None):
+    """Three distinct real solves, one worker, generous budgets."""
+    return {
+        "name": "resume-test",
+        "kind": "solve",
+        "axes": {"fault_seed": [1, 2, 3]},
+        "defaults": {"mesh": 12, "steps": 1, "chaos": chaos},
+        "retries": 2,
+        "timeout_seconds": 120.0,
+        "backoff_base_seconds": 0.0,
+        "backoff_jitter": 0.0,
+        "max_workers": 1,
+    }
+
+
+def run_to_completion(spec, root):
+    store = ResultStore(root)
+    outcome = CampaignScheduler(spec, store, log=lambda line: None).run()
+    return store, outcome
+
+
+class TestWorkerSigkill:
+    def test_sigkilled_worker_is_retried_to_success(self, tmp_path):
+        spec = CampaignSpec.from_dict({
+            **spec_dict(chaos={"sigkill": [1]}),
+            "axes": {"fault_seed": [1]},
+        })
+        store, outcome = run_to_completion(spec, tmp_path / "store")
+        run = spec.expand()[0]
+        attempts = store.attempts(run.key)
+        assert [a["outcome"] for a in attempts] == ["crash", "ok"]
+        assert "signal 9" in attempts[0]["error"]["message"]
+        assert store.load_result(run.key)["status"] == "ok"
+        assert outcome.complete and outcome.failures == 0
+
+
+class TestOrchestratorSigkill:
+    def launch_and_kill(self, spec_path, store_root):
+        """Launch the campaign CLI, SIGKILL it once >= 1 run completed."""
+        env = os.environ.copy()
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "launch",
+             str(spec_path), "--store", str(store_root), "--quiet"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                done = list(Path(store_root).glob("runs/*/result.json"))
+                if done:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail(
+                        "campaign exited before it could be killed:\n"
+                        + proc.stdout.read().decode(errors="replace")
+                    )
+                time.sleep(0.01)
+            else:
+                pytest.fail("campaign never completed a first run")
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait()
+            proc.stdout.close()
+        return len(list(Path(store_root).glob("runs/*/result.json")))
+
+    def test_resume_is_byte_identical_with_zero_recomputation(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec_dict()))
+        spec = CampaignSpec.from_file(spec_path)
+        runs = spec.expand()
+
+        # Interrupted campaign: SIGKILL the orchestrator mid-sweep.
+        interrupted_root = tmp_path / "interrupted"
+        completed_before = self.launch_and_kill(spec_path, interrupted_root)
+        assert 1 <= completed_before <= len(runs)
+
+        # Resume in-process; the store counts hits vs actual executions.
+        store = ResultStore(interrupted_root)
+        outcome = CampaignScheduler(spec, store, log=lambda line: None).run()
+        assert outcome.complete and outcome.failures == 0
+        # Zero recomputation: every run finished before the kill was
+        # served from the store, only the remainder executed.
+        assert store.hits == completed_before
+        assert outcome.reused == completed_before
+        assert outcome.executed == len(runs) - completed_before
+
+        # Reference campaign, never interrupted, in a fresh store.
+        reference_root = tmp_path / "reference"
+        _, ref_outcome = run_to_completion(spec, reference_root)
+        assert ref_outcome.complete and ref_outcome.failures == 0
+
+        # Byte-identical completed-run results, interrupted vs not.
+        for run in runs:
+            interrupted = interrupted_root / "runs" / run.key / "result.json"
+            reference = reference_root / "runs" / run.key / "result.json"
+            assert interrupted.read_bytes() == reference.read_bytes()
+
+    def test_second_resume_reuses_everything(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            **spec_dict(), "axes": {"fault_seed": [1]},
+        }))
+        spec = CampaignSpec.from_file(spec_path)
+        root = tmp_path / "store"
+        _, first = run_to_completion(spec, root)
+        assert first.executed == 1
+        store = ResultStore(root)
+        again = CampaignScheduler(spec, store, log=lambda line: None).run()
+        assert again.reused == 1
+        assert again.executed == 0
+        assert store.hits == 1 and store.misses == 0

@@ -1,0 +1,164 @@
+"""Worker supervision: crash, hang, poison, and graceful degradation.
+
+Chaos profiles make the failure modes deterministic: the worker process
+really crashes / hangs / raises on the attempts the profile names, and
+the scheduler is asserted on what it recorded in the store.
+"""
+
+import random
+
+import pytest
+
+from repro.campaign.scheduler import (
+    EXIT_FAILURES,
+    EXIT_OK,
+    CampaignScheduler,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.util.retry import RetryPolicy
+
+
+def chaos_spec(chaos, *, retries=1, seeds=(1,), **kwargs):
+    """A minimal one-model solve campaign with a chaos profile."""
+    defaults = {"mesh": 8, "steps": 1, "chaos": chaos}
+    defaults.update(kwargs.pop("defaults", {}))
+    base = dict(
+        name="chaos-test",
+        kind="solve",
+        axes={"fault_seed": tuple(seeds)},
+        defaults=defaults,
+        retries=retries,
+        timeout_seconds=60.0,
+        backoff_base_seconds=0.01,
+        backoff_jitter=0.25,
+        max_workers=1,
+    )
+    base.update(kwargs)
+    return CampaignSpec(**base)
+
+
+def run_campaign(tmp_path, spec, **kwargs):
+    store = ResultStore(tmp_path / "store")
+    log = []
+    scheduler = CampaignScheduler(spec, store, log=log.append, **kwargs)
+    outcome = scheduler.run()
+    return store, outcome, log
+
+
+class TestCrashSupervision:
+    def test_crashed_worker_is_retried_with_backoff(self, tmp_path):
+        spec = chaos_spec({"exit": [1]})
+        store, outcome, log = run_campaign(tmp_path, spec)
+        run = spec.expand()[0]
+        attempts = store.attempts(run.key)
+        assert [a["outcome"] for a in attempts] == ["crash", "ok"]
+        assert attempts[0]["exitcode"] == 13
+        assert attempts[0]["backoff_seconds"] > 0
+        result = store.load_result(run.key)
+        assert result["status"] == "ok"
+        assert result["payload"]["iterations"] >= 1
+        assert outcome.complete and outcome.exit_code == EXIT_OK
+        assert any("retrying in" in line for line in log)
+
+    def test_backoff_is_seeded_per_run_and_attempt(self, tmp_path):
+        spec = chaos_spec({"exit": [1]})
+        store, _, _ = run_campaign(tmp_path, spec)
+        run = spec.expand()[0]
+        recorded = store.attempts(run.key)[0]["backoff_seconds"]
+        policy = RetryPolicy(
+            base_seconds=spec.backoff_base_seconds,
+            factor=spec.backoff_factor,
+            jitter=spec.backoff_jitter,
+            max_delay_seconds=spec.backoff_max_seconds,
+            max_retries=spec.retries,
+        )
+        expected = policy.delay_seconds(1, random.Random(f"{run.key}:1"))
+        assert recorded == pytest.approx(expected, abs=1e-6)
+
+
+class TestPoisonRuns:
+    def test_poison_run_fails_without_sinking_campaign(self, tmp_path):
+        spec = chaos_spec(
+            None, seeds=(1, 2), retries=1,
+            overrides=(({"fault_seed": 2}, {"chaos": {"fail": "*"}}),),
+        )
+        store, outcome, log = run_campaign(tmp_path, spec)
+        healthy, poison = spec.expand()
+        assert store.load_result(healthy.key)["status"] == "ok"
+        failed = store.load_result(poison.key)
+        assert failed["status"] == "failed"
+        assert failed["error"]["type"] == "CampaignChaosError"
+        # Budget = 1 retry -> exactly two recorded attempts, both errors.
+        assert [a["outcome"] for a in store.attempts(poison.key)] == [
+            "error", "error",
+        ]
+        assert outcome.complete
+        assert outcome.failures == 1
+        assert outcome.exit_code == EXIT_FAILURES
+        assert any("FAILED" in line and "campaign continues" in line
+                   for line in log)
+
+
+class TestHangSupervision:
+    def test_hung_worker_is_killed_and_recorded_as_timeout(self, tmp_path):
+        spec = chaos_spec({"hang": "*"}, retries=0)
+        store, outcome, _ = run_campaign(tmp_path, spec,
+                                         timeout_seconds=1.5)
+        run = spec.expand()[0]
+        attempts = store.attempts(run.key)
+        assert [a["outcome"] for a in attempts] == ["timeout"]
+        assert "wall-clock timeout" in attempts[0]["error"]["message"]
+        assert store.load_result(run.key)["status"] == "failed"
+        assert outcome.manifest["timeouts"] == 1
+        assert outcome.exit_code == EXIT_FAILURES
+
+
+class TestDegradation:
+    def test_exhausted_run_degrades_to_quick_and_is_recorded(self, tmp_path):
+        spec = chaos_spec(
+            {"fail": [1]}, retries=0,
+            defaults={"mesh": 16, "steps": 2},
+            allow_quick_fallback=True, quick_mesh=8,
+        )
+        store, outcome, log = run_campaign(tmp_path, spec)
+        run = spec.expand()[0]
+        attempts = store.attempts(run.key)
+        assert [a["outcome"] for a in attempts] == ["error", "ok"]
+        assert attempts[1]["degraded"] is True
+        result = store.load_result(run.key)
+        assert result["status"] == "degraded"
+        assert result["degraded_config"]["mesh"] == 8
+        assert result["degraded_config"]["steps"] == 1
+        assert (store.run_dir(run.key) / "config-degraded.json").exists()
+        assert outcome.manifest["counts"]["degraded"] == 1
+        # Degradation succeeded, so the campaign is clean overall.
+        assert outcome.exit_code == EXIT_OK
+        assert any("degrading to quick mode" in line for line in log)
+
+
+class TestResumeBudget:
+    def test_recorded_attempts_debit_the_retry_budget(self, tmp_path):
+        spec = chaos_spec(None, retries=1)
+        run = spec.expand()[0]
+        store = ResultStore(tmp_path / "store")
+        store.initialize(spec)
+        store.ensure_run(run)
+        # A previous (killed) orchestrator already burned the budget.
+        for attempt in (1, 2):
+            store.record_attempt(run.key, {
+                "attempt": attempt, "degraded": False, "outcome": "crash",
+                "duration_seconds": 0.1, "exitcode": 13,
+                "error": {"type": "crash", "message": "worker died"},
+                "backoff_seconds": 0.0,
+            })
+        scheduler = CampaignScheduler(spec, store, log=lambda line: None)
+        outcome = scheduler.run()
+        result = store.load_result(run.key)
+        assert result["status"] == "failed"
+        # The failure carries the error the dead orchestrator recorded.
+        assert result["error"]["message"] == "worker died"
+        # No new attempt was spawned: the budget was already exhausted.
+        assert len(store.attempts(run.key)) == 2
+        assert not list(store.run_dir(run.key).glob("worker-*.log"))
+        assert outcome.exit_code == EXIT_FAILURES

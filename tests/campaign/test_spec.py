@@ -1,0 +1,171 @@
+"""Campaign specs: validation, expansion, overrides, serialisation."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, run_key
+from repro.util.errors import CampaignError
+
+
+def solve_spec(**kwargs):
+    base = dict(
+        name="unit",
+        kind="solve",
+        axes={"model": ("openmp-f90", "kokkos"), "faults": ("", "nan:u:5")},
+        defaults={"mesh": 16, "steps": 1},
+    )
+    base.update(kwargs)
+    return CampaignSpec(**base)
+
+
+class TestExpansion:
+    def test_full_grid(self):
+        runs = solve_spec().expand()
+        assert len(runs) == 4
+        assert sorted(r.axes["model"] for r in runs) == [
+            "kokkos", "kokkos", "openmp-f90", "openmp-f90",
+        ]
+        for run in runs:
+            assert run.resolved["mesh"] == 16
+            assert run.resolved["kind"] == "solve"
+
+    def test_keys_are_distinct_and_stable(self):
+        runs = solve_spec().expand()
+        keys = {r.key for r in runs}
+        assert len(keys) == 4
+        # Content-addressed: re-expanding yields the same keys.
+        assert {r.key for r in solve_spec().expand()} == keys
+
+    def test_run_key_tracks_content(self):
+        a = {"kind": "solve", "mesh": 16}
+        assert run_key(a) == run_key(dict(a))
+        assert run_key(a) != run_key({**a, "mesh": 32})
+
+    def test_override_applies_on_axis_match(self):
+        spec = solve_spec(
+            overrides=(({"faults": "nan:u:5"}, {"ranks": 4, "resilient": True}),),
+        )
+        for run in spec.expand():
+            if run.axes["faults"]:
+                assert run.resolved["ranks"] == 4
+                assert run.resolved["resilient"] is True
+            else:
+                assert run.resolved["ranks"] == 1
+
+    def test_label_is_human_readable(self):
+        runs = solve_spec().expand()
+        labels = {r.label() for r in runs}
+        assert "faults=- model=openmp-f90" in labels
+        assert "faults=nan:u:5 model=kokkos" in labels
+
+    def test_duplicate_runs_rejected(self):
+        with pytest.raises(CampaignError, match="duplicate"):
+            solve_spec(axes={"mesh": (16, 16)})
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"name": ""}, "slug"),
+        ({"name": "bad name"}, "slug"),
+        ({"kind": "benchmark"}, "kind"),
+        ({"retries": -1}, "retries"),
+        ({"timeout_seconds": 0}, "timeout"),
+        ({"backoff_jitter": 2.0}, "jitter"),
+        ({"max_workers": 0}, "max_workers"),
+        ({"axes": {}}, "at least one axis"),
+        ({"axes": {"device": ("gpu",)}}, "unknown solve axis"),
+        ({"axes": {"model": ()}}, "no values"),
+        ({"defaults": {"mesh": 16, "device": "gpu"}}, "unknown solve default"),
+        ({"axes": {"model": ("not-a-model",)}}, "unknown model"),
+        ({"defaults": {"solver": "gauss"}}, "unknown solver"),
+        ({"defaults": {"mesh": 2}}, "bad mesh"),
+        ({"defaults": {"ranks": 0}}, "ranks"),
+        ({"axes": {"model": ("openmp-f90",)},
+          "defaults": {"faults": "frobnicate:u:5"}}, "bad fault profile"),
+        ({"defaults": {"deck": "/no/such/tea.in"}}, "deck file not found"),
+        ({"defaults": {"chaos": {"meteor": [1]}}}, "unknown chaos kind"),
+        ({"defaults": {"chaos": {"fail": [0]}}}, "1-based"),
+        ({"defaults": {"chaos": "always"}}, "mapping"),
+    ])
+    def test_bad_solve_specs(self, kwargs, match):
+        with pytest.raises(CampaignError, match=match):
+            solve_spec(**kwargs)
+
+    def test_override_must_match_known_axis(self):
+        with pytest.raises(CampaignError, match="unknown axis"):
+            solve_spec(overrides=(({"device": "gpu"}, {"ranks": 4}),))
+
+    def test_override_must_set_known_field(self):
+        with pytest.raises(CampaignError, match="unknown solve field"):
+            solve_spec(overrides=(({"model": "kokkos"}, {"device": "gpu"}),))
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(CampaignError, match="unknown experiment"):
+            CampaignSpec(name="exp", kind="experiment",
+                         axes={"experiment": ("fig99",)})
+
+    def test_experiment_spec_accepts_registry_ids(self):
+        spec = CampaignSpec(name="exp", kind="experiment",
+                            axes={"experiment": ("table1", "fig8")})
+        assert [r.axes["experiment"] for r in spec.expand()] == ["table1", "fig8"]
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        spec = solve_spec(
+            overrides=(({"faults": "nan:u:5"}, {"resilient": True}),),
+            retries=5,
+            timeout_seconds=12.5,
+            allow_quick_fallback=True,
+        )
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again.to_dict() == spec.to_dict()
+        assert {r.key for r in again.expand()} == {r.key for r in spec.expand()}
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = solve_spec().to_dict()
+        data["fleet"] = 9
+        with pytest.raises(CampaignError, match="unknown campaign spec key"):
+            CampaignSpec.from_dict(data)
+
+    def test_from_dict_requires_name_and_axes(self):
+        with pytest.raises(CampaignError, match="'name' and 'axes'"):
+            CampaignSpec.from_dict({"kind": "solve"})
+
+    def test_from_file_bad_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignError, match="not JSON"):
+            CampaignSpec.from_file(path)
+
+    def test_from_file_missing(self, tmp_path):
+        with pytest.raises(CampaignError, match="cannot read"):
+            CampaignSpec.from_file(tmp_path / "absent.json")
+
+
+class TestDegradedVariant:
+    def test_disabled_by_default(self):
+        spec = solve_spec()
+        run = spec.expand()[0]
+        assert spec.degraded_variant(run.resolved) is None
+
+    def test_solve_shrinks_to_quick_mesh(self):
+        spec = solve_spec(defaults={"mesh": 64, "steps": 4},
+                          allow_quick_fallback=True, quick_mesh=16)
+        degraded = spec.degraded_variant(spec.expand()[0].resolved)
+        assert degraded["mesh"] == 16
+        assert degraded["steps"] == 1
+
+    def test_already_quick_has_no_fallback(self):
+        spec = solve_spec(defaults={"mesh": 16, "steps": 1},
+                          allow_quick_fallback=True, quick_mesh=16)
+        assert spec.degraded_variant(spec.expand()[0].resolved) is None
+
+    def test_experiment_flips_quick(self):
+        spec = CampaignSpec(
+            name="exp", kind="experiment",
+            axes={"experiment": ("table1",)},
+            defaults={"quick": False},
+            allow_quick_fallback=True,
+        )
+        degraded = spec.degraded_variant(spec.expand()[0].resolved)
+        assert degraded["quick"] is True

@@ -1,0 +1,148 @@
+"""The content-addressed result store: atomicity, idempotence, manifest."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore, write_json_atomic
+from repro.util.errors import CampaignError
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec(
+        name="store-test",
+        kind="solve",
+        axes={"fault_seed": (1, 2)},
+        defaults={"mesh": 16, "steps": 1},
+    )
+
+
+@pytest.fixture
+def store(tmp_path, spec):
+    s = ResultStore(tmp_path / "camp")
+    s.initialize(spec)
+    return s
+
+
+class TestAtomicWrites:
+    def test_write_and_no_temp_leftovers(self, tmp_path):
+        path = tmp_path / "data.json"
+        write_json_atomic(path, {"b": 2, "a": 1})
+        assert json.loads(path.read_text()) == {"a": 1, "b": 2}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_json_atomic(a, {"y": [1, 2], "x": "s"})
+        write_json_atomic(b, {"x": "s", "y": [1, 2]})
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestInitialize:
+    def test_idempotent_for_same_spec(self, store, spec):
+        store.initialize(spec)  # second call is a no-op
+        assert store.load_spec().to_dict() == spec.to_dict()
+
+    def test_refuses_different_spec(self, store, spec):
+        other = CampaignSpec(
+            name="store-test", kind="solve",
+            axes={"fault_seed": (1, 2, 3)},
+            defaults={"mesh": 16, "steps": 1},
+        )
+        with pytest.raises(CampaignError, match="different spec"):
+            store.initialize(other)
+
+    def test_load_spec_requires_store(self, tmp_path):
+        with pytest.raises(CampaignError, match="not a campaign store"):
+            ResultStore(tmp_path / "nowhere").load_spec()
+
+
+class TestRunState:
+    def test_ensure_run_writes_config_once(self, store, spec):
+        run = spec.expand()[0]
+        rdir = store.ensure_run(run)
+        config = json.loads((rdir / "config.json").read_text())
+        assert config["key"] == run.key
+        assert config["run"] == run.resolved
+        before = (rdir / "config.json").read_bytes()
+        store.ensure_run(run)
+        assert (rdir / "config.json").read_bytes() == before
+
+    def test_result_round_trip(self, store, spec):
+        run = spec.expand()[0]
+        store.ensure_run(run)
+        assert not store.has_result(run.key)
+        store.write_result(run.key, status="ok", config=run.resolved,
+                           payload={"iterations": 42})
+        assert store.has_result(run.key)
+        result = store.load_result(run.key)
+        assert result["status"] == "ok"
+        assert result["payload"] == {"iterations": 42}
+
+    def test_bad_terminal_status_rejected(self, store, spec):
+        run = spec.expand()[0]
+        store.ensure_run(run)
+        with pytest.raises(CampaignError, match="bad terminal status"):
+            store.write_result(run.key, status="maybe", config=run.resolved)
+
+    def test_attempts_round_trip(self, store, spec):
+        run = spec.expand()[0]
+        store.ensure_run(run)
+        assert store.attempts(run.key) == []
+        store.record_attempt(run.key, {"attempt": 1, "outcome": "crash"})
+        store.record_attempt(run.key, {"attempt": 2, "outcome": "ok"})
+        assert [a["outcome"] for a in store.attempts(run.key)] == ["crash", "ok"]
+
+    def test_torn_trailing_line_ignored(self, store, spec):
+        run = spec.expand()[0]
+        store.ensure_run(run)
+        store.record_attempt(run.key, {"attempt": 1, "outcome": "crash"})
+        # A killed orchestrator can leave a torn final line; reads skip it.
+        path = store.run_dir(run.key) / "attempts.jsonl"
+        with path.open("a") as fh:
+            fh.write('{"attempt": 2, "outco')
+        assert [a["attempt"] for a in store.attempts(run.key)] == [1]
+
+
+class TestManifest:
+    def test_scan_counts_everything(self, store, spec):
+        done, pending = spec.expand()
+        store.ensure_run(done)
+        store.ensure_run(pending)
+        store.record_attempt(done.key, {
+            "attempt": 1, "outcome": "timeout", "backoff_seconds": 0.25,
+        })
+        store.record_attempt(done.key, {
+            "attempt": 2, "outcome": "crash", "backoff_seconds": 0.5,
+        })
+        store.record_attempt(done.key, {
+            "attempt": 3, "outcome": "ok", "backoff_seconds": 0.0,
+        })
+        store.write_result(done.key, status="ok", config=done.resolved,
+                           payload={})
+        manifest = store.scan([done, pending])
+        assert manifest["total"] == 2
+        assert manifest["counts"] == {
+            "ok": 1, "degraded": 0, "failed": 0, "pending": 1,
+        }
+        assert not manifest["complete"]
+        assert manifest["retries"] == 2
+        assert manifest["timeouts"] == 1
+        assert manifest["crashes"] == 1
+        assert manifest["backoff_seconds"] == pytest.approx(0.75)
+        by_key = {e["key"]: e for e in manifest["runs"]}
+        assert by_key[done.key]["attempts"] == 3
+        assert by_key[pending.key]["status"] == "pending"
+
+    def test_failure_carries_error_into_manifest(self, store, spec):
+        run = spec.expand()[0]
+        store.ensure_run(run)
+        store.write_result(run.key, status="failed", config=run.resolved,
+                           error={"type": "crash", "message": "signal 9"})
+        manifest = store.write_manifest(spec, [run])
+        assert manifest["failures"] == 1
+        entry = next(e for e in manifest["runs"] if e["key"] == run.key)
+        assert entry["error"]["message"] == "signal 9"
+        assert store.manifest_path.exists()

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -104,6 +106,82 @@ class TestComplexity:
         assert rc == 0
         out = capsys.readouterr().out
         assert "opencl" in out and "manual reductions" in out
+
+
+class TestCampaign:
+    def campaign_spec(self, tmp_path):
+        """Two real solves, one of them poisoned via a chaos profile."""
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-test",
+            "kind": "solve",
+            "axes": {"fault_seed": [1, 2]},
+            "defaults": {"mesh": 8, "steps": 1},
+            "overrides": [
+                {"match": {"fault_seed": 2}, "set": {"chaos": {"fail": "*"}}},
+            ],
+            "retries": 5,
+            "timeout_seconds": 60.0,
+            "backoff_base_seconds": 0.0,
+            "backoff_jitter": 0.0,
+            "max_workers": 1,
+        }))
+        return spec_path
+
+    def test_launch_resume_status_report_lifecycle(self, tmp_path, capsys):
+        spec_path = self.campaign_spec(tmp_path)
+        store = tmp_path / "store"
+
+        # launch: --retries 0 overrides the spec's budget of 5, so the
+        # poison run burns exactly one attempt; failures exit with 3.
+        rc = main(["campaign", "launch", str(spec_path),
+                   "--store", str(store), "--retries", "0"])
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "1 ok, 0 degraded, 1 failed, 0 pending" in out
+        assert "FAILED" in out and "campaign continues" in out
+        poison_attempts = [
+            p for p in store.glob("runs/*/attempts.jsonl")
+            if "CampaignChaosError" in p.read_text()
+        ]
+        assert len(poison_attempts) == 1
+        assert len(poison_attempts[0].read_text().splitlines()) == 1
+
+        # status: read-only, exits 0 even with failures on record.
+        rc = main(["campaign", "status", str(store)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[ok" in out and "[failed" in out
+
+        # resume: the ok run is reused, the failed run is terminal, and
+        # the exit still reports the recorded failures.
+        rc = main(["campaign", "resume", str(store), "--retries", "0"])
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "2 already complete (reused), 0 to execute" in out
+
+        # report: failure manifest named, exits 3, manifest written.
+        rc = main(["campaign", "report", str(store)])
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "failure manifest:" in out
+        assert "CampaignChaosError" in out
+        assert (store / "manifest.json").exists()
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["campaign", "launch", str(bad),
+                     "--store", str(tmp_path / "s")]) == 2
+        assert main(["campaign", "launch", "no-such-campaign",
+                     "--store", str(tmp_path / "s")]) == 2
+        err = capsys.readouterr().err
+        assert "campaign spec invalid" in err
+
+    def test_status_on_missing_store_exits_2(self, tmp_path, capsys):
+        rc = main(["campaign", "status", "--store", str(tmp_path / "void")])
+        assert rc == 2
+        assert "not a campaign store" in capsys.readouterr().err
 
 
 class TestParser:

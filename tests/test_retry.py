@@ -1,0 +1,161 @@
+"""Shared retry/backoff machinery (repro.util.retry)."""
+
+import random
+
+import pytest
+
+from repro.util.retry import RetryPolicy, call_with_retries
+
+
+class TestRetryPolicy:
+    def test_deterministic_schedule(self):
+        policy = RetryPolicy(base_seconds=0.1, factor=2.0, max_retries=3)
+        assert policy.schedule() == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(base_seconds=1.0, factor=10.0,
+                             max_delay_seconds=5.0, max_retries=3)
+        assert policy.schedule() == pytest.approx([1.0, 5.0, 5.0])
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_seconds=1.0, factor=1.0, jitter=0.5,
+                             max_retries=4)
+        a = policy.schedule(random.Random(7))
+        b = policy.schedule(random.Random(7))
+        assert a == b  # same seed, same schedule
+        assert all(1.0 <= d <= 1.5 for d in a)
+
+    def test_jitter_ignored_without_rng(self):
+        policy = RetryPolicy(base_seconds=1.0, jitter=1.0)
+        assert policy.delay_seconds(1) == 1.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay_seconds(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_seconds": -1.0},
+        {"factor": 0.5},
+        {"jitter": 1.5},
+        {"max_retries": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetries:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "done"
+
+        result = call_with_retries(
+            flaky,
+            policy=RetryPolicy(base_seconds=0.1, factor=2.0, max_retries=3),
+            retry_on=OSError,
+            sleep=slept.append,
+        )
+        assert result == "done"
+        assert calls["n"] == 3
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_exhausted_budget_reraises_last_exception(self):
+        boom = ValueError("still broken")
+
+        def always():
+            raise boom
+
+        with pytest.raises(ValueError) as excinfo:
+            call_with_retries(
+                always,
+                policy=RetryPolicy(base_seconds=0.0, max_retries=2),
+                retry_on=ValueError,
+                sleep=lambda s: None,
+            )
+        assert excinfo.value is boom  # the original, not a wrapper
+
+    def test_unmatched_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            call_with_retries(
+                wrong_kind,
+                policy=RetryPolicy(max_retries=5),
+                retry_on=OSError,
+                sleep=lambda s: None,
+            )
+        assert calls["n"] == 1
+
+    def test_on_retry_fires_before_each_sleep(self):
+        events = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(f"fail {calls['n']}")
+            return "ok"
+
+        call_with_retries(
+            flaky,
+            policy=RetryPolicy(base_seconds=0.5, factor=2.0, max_retries=3),
+            retry_on=OSError,
+            sleep=lambda s: events.append(("sleep", s)),
+            on_retry=lambda a, d, e: events.append(("retry", a, d, str(e))),
+        )
+        assert events == [
+            ("retry", 1, 0.5, "fail 1"), ("sleep", 0.5),
+            ("retry", 2, 1.0, "fail 2"), ("sleep", 1.0),
+        ]
+
+    def test_zero_delay_skips_sleep(self):
+        calls = {"n": 0}
+
+        def once():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("x")
+            return "ok"
+
+        def no_sleep(seconds):
+            raise AssertionError("should not sleep on zero delay")
+
+        assert call_with_retries(
+            once,
+            policy=RetryPolicy(base_seconds=0.0, max_retries=1),
+            retry_on=OSError,
+            sleep=no_sleep,
+        ) == "ok"
+
+    def test_deadline_stops_retrying(self):
+        now = {"t": 0.0}
+
+        def clock():
+            return now["t"]
+
+        def slow_fail():
+            now["t"] += 10.0
+            raise OSError("slow")
+
+        with pytest.raises(OSError):
+            call_with_retries(
+                slow_fail,
+                policy=RetryPolicy(base_seconds=1.0, max_retries=100,
+                                   deadline_seconds=15.0),
+                retry_on=OSError,
+                sleep=lambda s: None,
+                clock=clock,
+            )
+        # First failure at t=10 retries (10+1 <= 15); second at t=20 blows
+        # the deadline and re-raises instead of sleeping forever.
+        assert now["t"] == 20.0
