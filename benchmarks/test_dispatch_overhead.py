@@ -11,6 +11,11 @@ Offload ports additionally measure the residency mirror on repeated
 ``read_field`` probes (the checkpoint/monitoring access pattern): the
 second probe of a clean field must not pay a device->host copy.
 
+A second sweep measures the compiled hot path (``--codegen``):
+interpreted per-kernel dispatch vs the plan lowered to generated NumPy,
+recorded to ``BENCH_codegen.json`` with bitwise-identity asserted
+against the golden solution hash.
+
 Run with::
 
     pytest benchmarks/test_dispatch_overhead.py --benchmark-only
@@ -37,13 +42,14 @@ OUT = REPO / "BENCH_dispatch.json"
 _RESULTS: dict[str, dict] = {}
 
 
-def measure(model: str, fuse: bool, residency: bool) -> dict:
+def measure(model: str, fuse: bool, residency: bool, codegen: bool = False) -> dict:
     deck = parse_deck_file(DECK)
     deck = dataclasses.replace(
         deck,
         tl_preconditioner_type="jac_diag",
         tl_fuse_kernels=fuse,
         tl_residency_tracking=residency,
+        tl_codegen=codegen,
     )
     app = TeaLeaf(deck, model=model)
     t0 = time.perf_counter()
@@ -63,6 +69,7 @@ def measure(model: str, fuse: bool, residency: bool) -> dict:
     return {
         "fuse": fuse,
         "residency": residency,
+        "codegen": codegen,
         "iterations": iters,
         "kernel_launches": trace.kernel_launches(),
         "launches_per_iteration": round(trace.kernel_launches() / iters, 3),
@@ -95,6 +102,55 @@ def test_dispatch_overhead(model, benchmark):
     # ...and never more launches or transfers than the baseline.
     assert on["kernel_launches"] <= off["kernel_launches"]
     assert on["transfers"] <= off["transfers"]
+
+
+_CODEGEN_RESULTS: dict[str, dict] = {}
+CODEGEN_OUT = REPO / "BENCH_codegen.json"
+GOLDEN_U_SHA = "b6dc591ad1a00bda"
+
+
+@pytest.mark.parametrize("model", available_models())
+def test_codegen_speedup(model, benchmark):
+    """Interpreted dispatch vs the generated-NumPy hot path (--codegen)."""
+
+    def both():
+        interp = measure(model, fuse=False, residency=False, codegen=False)
+        comp = measure(model, fuse=False, residency=False, codegen=True)
+        return interp, comp
+
+    interp, comp = benchmark.pedantic(both, rounds=1, iterations=1)
+    speedup = interp["wall_seconds"] / max(comp["wall_seconds"], 1e-12)
+    _CODEGEN_RESULTS[model] = {
+        "interpreted": interp,
+        "codegen": comp,
+        "speedup": round(speedup, 2),
+    }
+
+    # The compiled hot path is a pure substitution: identical bits.
+    assert comp["u_sha"] == interp["u_sha"] == GOLDEN_U_SHA
+    assert comp["iterations"] == interp["iterations"]
+
+
+def test_write_codegen_json():
+    """Aggregate the codegen measurements into BENCH_codegen.json."""
+    if not _CODEGEN_RESULTS:
+        pytest.skip("no codegen measurements collected")
+    speedups = {m: r["speedup"] for m, r in _CODEGEN_RESULTS.items()}
+    payload = {
+        "deck": DECK.name,
+        "preconditioner": "jac_diag",
+        "golden_u_sha": GOLDEN_U_SHA,
+        "models": _CODEGEN_RESULTS,
+        "summary": {
+            "speedups": dict(sorted(speedups.items())),
+            "max_speedup": max(speedups.values()),
+            "max_speedup_model": max(speedups, key=speedups.get),
+        },
+    }
+    CODEGEN_OUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+    # Acceptance: at least one port's hot path gets >= 5x faster.
+    assert max(speedups.values()) >= 5.0
 
 
 def test_write_bench_json():

@@ -64,6 +64,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["tl_fuse_kernels"] = True
     if args.residency:
         overrides["tl_residency_tracking"] = True
+    if args.codegen:
+        overrides["tl_codegen"] = True
     if overrides:
         deck = dataclasses.replace(deck, **overrides)
 
@@ -133,9 +135,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if args.fuse and not fuse:
         print(f"# model {args.model} does not support fusion; showing unfused")
     instrument = bool(getattr(args, "resilient", False))
+    codegen = bool(getattr(args, "codegen", False)) and port.supports_codegen
     header = f"# model={args.model} solver={deck.solver} mesh={args.mesh}"
     if instrument:
         header += " resilience-instrumented"
+    if codegen:
+        header += " codegen"
     print(header)
     prologue, epilogue = solve_step_plans(deck.grid().halo)
     for p in [prologue, *fragments, epilogue]:
@@ -144,6 +149,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 fuse=fuse,
                 transparent_barriers=transparent,
                 instrument=instrument,
+                codegen=codegen,
             )
         )
         print()
@@ -559,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--residency", action="store_true",
         help="track device-side field residency (tl_residency_tracking)",
     )
+    run.add_argument(
+        "--codegen", action="store_true",
+        help="run kernel plans as generated NumPy code (tl_codegen); "
+             "bitwise-identical to the interpreted path",
+    )
     run.set_defaults(fn=_cmd_run)
 
     models = sub.add_parser("models", help="list registered programming models")
@@ -577,6 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--fuse", action="store_true",
         help="compile with fusion on (if the model supports it)",
+    )
+    plan.add_argument(
+        "--codegen", action="store_true",
+        help="show the codegen-lowered variant (compiled kernel steps)",
     )
     plan.add_argument(
         "--resilient", action="store_true",

@@ -53,6 +53,11 @@ _FIELD_TAG = {name: i for i, name in enumerate(F.FIELD_ORDER)}
 class MultiChunkPort(Port):
     """A rank-per-chunk ensemble presenting the single-port interface."""
 
+    #: Fields live per-chunk behind the rank boundary; there is no single
+    #: device array for a generated body to write, so codegen is refused
+    #: (the executor silently falls back to interpreted dispatch).
+    supports_codegen = False
+
     def __init__(
         self,
         grid: Grid2D,

@@ -119,6 +119,11 @@ class Deck:
     #: Composes with resilience: checkpoint restore invalidates the
     #: residency state of restored fields so devices re-upload them.
     tl_residency_tracking: bool = False
+    #: Run solver plans through the codegen backend: each kernel call /
+    #: fused group executes as one generated, cached NumPy function
+    #: (see repro.models.codegen).  Bitwise-identical to the interpreted
+    #: path; decomposed ports fall back to interpreted dispatch.
+    tl_codegen: bool = False
     states: tuple[State, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -330,7 +335,7 @@ def parse_deck(text: str) -> Deck:
         if lowered == "tl_resilient":
             values["tl_resilient"] = True
             continue
-        if lowered in ("tl_fuse_kernels", "tl_residency_tracking"):
+        if lowered in ("tl_fuse_kernels", "tl_residency_tracking", "tl_codegen"):
             values[lowered] = True
             continue
         if lowered in _IGNORED_KEYS:

@@ -186,7 +186,10 @@ class TeaLeaf:
         from repro.models.plan import PlanExecutor
 
         self.executor = PlanExecutor(
-            self.port, fuse=deck.tl_fuse_kernels, resilience=self.resilience
+            self.port,
+            fuse=deck.tl_fuse_kernels,
+            resilience=self.resilience,
+            codegen=deck.tl_codegen,
         )
         self.port.plan_executor = self.executor
         self._prologue, self._epilogue = solve_step_plans(self.grid.halo)

@@ -596,6 +596,110 @@ def rank_resilience(quick: bool = True) -> ExperimentResult:
     )
 
 
+# --------------------------------------------------------------------- #
+# Compiled hot path: interpreted dispatch vs generated NumPy (extension)
+# --------------------------------------------------------------------- #
+def codegen_speedup(quick: bool = True) -> ExperimentResult:
+    """Interpreted dispatch vs the generated-NumPy hot path (``--codegen``).
+
+    Runs the benchmark problem twice per port — once through the
+    interpreted per-kernel dispatch, once with the plan lowered to
+    generated NumPy — and compares bits and wall time.  Checks are on
+    physics (bitwise-identical field, iteration trajectory and summary)
+    and on plan structure (the solver plans really lowered); wall time
+    feeds the table but is machine dependent, so speedup is reported,
+    never asserted.
+    """
+    import dataclasses
+    import time
+
+    import numpy as np
+
+    from repro.core import fields as F
+    from repro.core.driver import TeaLeaf
+    from repro.models.base import available_models
+    from repro.models.plan import CompiledKernel
+
+    n, steps = (96, 2) if quick else (512, 4)
+    base_deck = default_deck(n=n, end_step=steps)
+    models = [
+        m for m in ("openmp-f90", "kokkos", "raja-gpu", "cuda")
+        if m in available_models()
+    ]
+
+    def run(model: str, codegen: bool):
+        deck = dataclasses.replace(base_deck, tl_codegen=codegen)
+        app = TeaLeaf(deck, model=model)
+        t0 = time.perf_counter()
+        result = app.run()
+        wall = time.perf_counter() - t0
+        return {
+            "u": app.field(F.U)[app.grid.inner()].copy(),
+            "per_step": result.iterations_per_step(),
+            "summary": result.steps[-1].summary,
+            "wall": wall,
+            "lowered": app.executor.codegen,
+        }
+
+    headers = ["Model", "Interpreted s", "Codegen s", "Speedup", "Bitwise"]
+    rows = []
+    checks: list[Check] = []
+    speedups: dict[str, float] = {}
+    for model in models:
+        interp = run(model, codegen=False)
+        comp = run(model, codegen=True)
+        bitwise = bool(np.array_equal(interp["u"], comp["u"]))
+        speedup = interp["wall"] / max(comp["wall"], 1e-12)
+        speedups[model] = speedup
+        rows.append([
+            model,
+            f"{interp['wall']:.3f}",
+            f"{comp['wall']:.3f}",
+            f"{speedup:.2f}x",
+            "yes" if bitwise else "NO",
+        ])
+        checks.append(
+            Check(
+                name=f"codegen:{model}/bitwise",
+                passed=bitwise
+                and comp["per_step"] == interp["per_step"]
+                and comp["summary"] == interp["summary"],
+                detail="u, iteration trajectory and summary all identical",
+            )
+        )
+        checks.append(
+            Check(
+                name=f"codegen:{model}/lowered",
+                passed=comp["lowered"] and not interp["lowered"],
+                detail="executor compiles plans only when the flag is set",
+            )
+        )
+
+    from repro.core.solvers.base import CG_ITER_BODY
+
+    steps_lowered = CG_ITER_BODY.compiled(fuse=False, codegen=True)
+    checks.append(
+        Check(
+            name="codegen:plan/contains-compiled-kernels",
+            passed=any(isinstance(s, CompiledKernel) for s in steps_lowered),
+            detail="the CG iteration body lowers to CompiledKernel steps",
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id="codegen_speedup",
+        title="Compiled hot path: generated NumPy vs interpreted dispatch",
+        description=(
+            "Wall time and bitwise equivalence of the --codegen lowering "
+            "against interpreted per-kernel dispatch on the benchmark "
+            "problem; speedup is reported, physics is asserted."
+        ),
+        rendered=report.render_table(headers, rows),
+        checks=checks,
+        data={"rows": rows, "speedups": speedups},
+    )
+
+
 EXPERIMENTS = {
     "table1": table1,
     "table2": table2,
@@ -605,4 +709,5 @@ EXPERIMENTS = {
     "fig11": fig11,
     "fig12": fig12,
     "rank_resilience": rank_resilience,
+    "codegen_speedup": codegen_speedup,
 }

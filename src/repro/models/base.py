@@ -84,6 +84,13 @@ class Port(ABC):
     #: fused kernel groups (single-traversal elementwise models opt in).
     supports_fusion: bool = False
 
+    #: Whether the executor may run codegen-lowered plans against this
+    #: port.  Anything exposing its device storage through
+    #: :meth:`_device_array` qualifies (the generated NumPy bodies write
+    #: the same arrays the ``_k_*`` primitives do); decomposed ports,
+    #: whose fields live per-chunk, opt out.
+    supports_codegen: bool = True
+
     #: True for offload models whose begin/end_solve opens a real data
     #: region; gates barrier hoisting in the plan compiler.
     has_data_region: bool = False
@@ -231,15 +238,20 @@ class Port(ABC):
             self._mark_dirty(written)
         return result
 
-    def dispatch_fused(self, calls: tuple[KernelCall, ...]) -> list:
+    def dispatch_fused(
+        self, calls: tuple[KernelCall, ...], spec: KernelSpec | None = None
+    ) -> list:
         """Run a fused group as one traced launch.
 
         The member bodies execute sequentially in original order, so the
         arithmetic (and every reduction, still on ``deterministic_sum``)
         is bitwise-identical to dispatching them separately; only the
-        launch/traversal count changes.
+        launch/traversal count changes.  The executor passes the group's
+        precomputed ``spec``; synthesising it here per dispatch made
+        ``--fuse`` a net wall-time loss on fast ports.
         """
-        spec = fused_spec(calls)
+        if spec is None:
+            spec = fused_spec(calls)
         self._launch(spec.name, spec=spec)
         results = []
         for call in calls:
@@ -249,6 +261,33 @@ class Port(ABC):
             if written:
                 self._mark_dirty(written)
         return results
+
+    def dispatch_compiled(self, step, argv: tuple[tuple, ...]) -> tuple:
+        """Run one codegen-lowered step (see :mod:`repro.models.codegen`).
+
+        The generated function reads and writes the port's device arrays
+        directly, so trace launches and residency dirtying are replayed
+        here from the step's pre-recorded accounting — one launch per
+        member call exactly as the interpreted dispatch would emit.
+        """
+        for kernel_name, spec in step.launches:
+            self._launch(kernel_name, spec=spec)
+        results = step.fn(self._codegen_ctx(), argv)
+        for call, args in zip(step.calls, argv):
+            written = call.spec.written(args)
+            if written:
+                self._mark_dirty(written)
+        return results
+
+    def _codegen_ctx(self):
+        """The port's (cached) codegen evaluation context."""
+        ctx = getattr(self, "_codegen_ctx_cache", None)
+        if ctx is None:
+            from repro.models.codegen import CodegenContext
+
+            ctx = CodegenContext(self._device_array, self.grid)
+            self._codegen_ctx_cache = ctx
+        return ctx
 
     # ------------------------------------------------------------------ #
     # the TeaLeaf kernel set (shared shims over the _k_* primitives)

@@ -265,10 +265,24 @@ class CUDAPort(Port):
             self._partials.data,
         )
         self.trace.reduction_pass(f"block_reduce:{kernel.__name__}", self.grid_dim.x * 8)
-        self.rt.memcpy(self._partials_host, self._partials, MemcpyKind.DEVICE_TO_HOST)
+        if self._residency_enabled:
+            # Residency mode pins the partials buffer in host-mapped
+            # (zero-copy) memory, so the final combine reads the block
+            # partials in place — no per-reduction D2H transfer.  This
+            # was the residency bug: every solver iteration's reductions
+            # re-counted a device->host copy whether or not tracking was
+            # on, burying the field-transfer savings under ~250
+            # partials readbacks per step.  Values are identical either
+            # way; only the redundant copy (and its trace event) goes.
+            host = self._partials.data
+        else:
+            self.rt.memcpy(
+                self._partials_host, self._partials, MemcpyKind.DEVICE_TO_HOST
+            )
+            host = self._partials_host
         # Canonical host-side combine of the block partials (the in-block
         # tree already equals the canonical chunk stage).
-        return combine_partials(self._partials_host)
+        return combine_partials(host)
 
     def _d(self, name: str) -> np.ndarray:
         return self.dev[name].data

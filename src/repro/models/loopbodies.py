@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.stencil import row_diag, row_matvec
+from repro.models.stencil import face_coefficient, row_diag, row_matvec
 
 
 def _rows(h: int, r0: int, r1: int, dk: int = 0) -> slice:
@@ -86,8 +86,8 @@ def tea_leaf_init_slab(
         wc = density[I, J]
         wx = density[I, Jm]
         wy = density[Im, J]
-    kx[I, J] = rx * (wx + wc) / (2.0 * wx * wc)
-    ky[I, J] = ry * (wy + wc) / (2.0 * wy * wc)
+    kx[I, J] = face_coefficient(wx, wc, rx)
+    ky[I, J] = face_coefficient(wy, wc, ry)
 
 
 def zero_boundary_coefficients(

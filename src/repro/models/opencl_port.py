@@ -328,7 +328,13 @@ class OpenCLPort(Port):
         # Host-side final combine of the work-group partials.
         host = self._partials_host[:groups]
         host[...] = self._partials.device_view[:groups]
-        self.trace.transfer("read_partials", groups * 8, TransferDirection.D2H)
+        if not self._residency_enabled:
+            # Residency mode maps the partials buffer host-visible
+            # (CL_MEM_ALLOC_HOST_PTR), so the combine reads the group
+            # partials in place instead of enqueueing a per-reduction
+            # D2H transfer — previously every iteration's reductions
+            # counted one, swamping the field-residency savings.
+            self.trace.transfer("read_partials", groups * 8, TransferDirection.D2H)
         # Canonical host-side combine: the work-group tree already equals
         # the canonical chunk stage for the default local size.
         return combine_partials(host)

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.core.kernels import KERNELS, KernelSpec
-from repro.util.errors import CorruptionError
+from repro.util.errors import CorruptionError, ModelError
 
 
 def check_finite(name: str, value: float) -> float:
@@ -288,9 +288,32 @@ class BarrierStep:
 
 @dataclass(frozen=True)
 class FusedGroup:
-    """Adjacent fusable kernel calls dispatched as one traversal."""
+    """Adjacent fusable kernel calls dispatched as one traversal.
+
+    The synthesised launch spec and the Bind scan are computed once at
+    construction (compile) time: ``dispatch_fused`` used to rebuild the
+    spec — read/write set walks, a :class:`KernelSpec`, a string join —
+    on *every* execution, which made ``--fuse`` a measurable wall-time
+    regression on fast ports despite dispatching fewer launches.
+    Construction also audits the member dataflow (:func:`audit_fusion`),
+    so an illegal group cannot be built at all.
+    """
 
     calls: tuple[KernelCall, ...]
+    #: Synthesised launch spec (compile-time constant for the group).
+    spec: KernelSpec = field(init=False, repr=False, compare=False)
+    #: True when any member has a late-bound scalar argument; groups
+    #: without one skip per-execution argument resolution entirely.
+    has_binds: bool = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        audit_fusion(self.calls)
+        object.__setattr__(self, "spec", fused_spec(self.calls))
+        object.__setattr__(
+            self,
+            "has_binds",
+            any(isinstance(a, Bind) for c in self.calls for a in c.args),
+        )
 
 
 @dataclass(frozen=True)
@@ -326,7 +349,77 @@ class GuardStep:
     tick: bool = False
 
 
+@dataclass
+class CompiledKernel:
+    """A codegen-lowered :class:`KernelCall` or :class:`FusedGroup`.
+
+    Produced by :mod:`repro.models.codegen`: ``fn`` is one generated (and
+    module-level cached) Python function that runs every member body as
+    vectorised NumPy over the port's device arrays — no per-cell Python
+    frames, no per-slab dispatch.  ``launches`` pre-records the trace
+    events the interpreted path would have emitted (one launch per member
+    call, or the single fused launch), so launch accounting is identical
+    either way.  ``argv`` holds the members' static argument tuples;
+    executions only re-resolve them when ``has_binds`` is set.
+    """
+
+    calls: tuple[KernelCall, ...]
+    fn: Callable[..., tuple]
+    launches: tuple[tuple[str, KernelSpec | None], ...]
+    argv: tuple[tuple[Any, ...], ...]
+    has_binds: bool
+    source: str = field(repr=False, default="")
+
+
 Step = Any  # KernelCall | HaloStep | ... | FusedGroup | FaultStep | GuardStep
+
+
+def audit_fusion(calls: tuple[KernelCall, ...]) -> None:
+    """Dataflow audit of a (candidate) fused group; raises on a hazard.
+
+    Member bodies execute in original order *per cell*, so same-cell
+    read-after-write (a member reading a field an earlier member wrote)
+    and write-after-write (two members writing the same field) are both
+    legal — the later body observes exactly the values the unfused
+    sequence would produce.  The two genuine hazards are the *stencil*
+    orderings: a member's neighbour read of any field another member
+    writes, in either direction, would observe mid-traversal state on a
+    cell-parallel port.  ``_can_fuse`` refuses such candidates during
+    compilation; this audit re-checks every constructed group (including
+    hand-built ones in tests), making an illegal group unrepresentable.
+    """
+    outs: set[str] = set()
+    for idx, cand in enumerate(calls):
+        spec = cand.spec
+        if not spec.fusable:
+            raise ModelError(
+                f"illegal fusion: '{cand.op}' is not a fusable operation"
+            )
+        for arg in cand.args:
+            if isinstance(arg, Bind) and arg.key in outs:
+                raise ModelError(
+                    f"illegal fusion: '{cand.op}' binds ${arg.key}, "
+                    f"produced by an earlier member of the same group"
+                )
+        if cand.out is not None:
+            outs.add(cand.out)
+        cand_writes = set(spec.written(cand.args))
+        cand_stencil = set(spec.stencil_reads)
+        for other in calls[:idx]:
+            o_spec = other.spec
+            o_writes = set(o_spec.written(other.args))
+            if cand_stencil & o_writes:
+                raise ModelError(
+                    f"illegal fusion: '{cand.op}' stencil-reads "
+                    f"{sorted(cand_stencil & o_writes)} written by "
+                    f"'{other.op}' in the same group"
+                )
+            if set(o_spec.stencil_reads) & cand_writes:
+                raise ModelError(
+                    f"illegal fusion: '{other.op}' stencil-reads "
+                    f"{sorted(set(o_spec.stencil_reads) & cand_writes)} "
+                    f"written later by '{cand.op}' in the same group"
+                )
 
 
 def fused_spec(calls: tuple[KernelCall, ...]) -> KernelSpec:
@@ -469,7 +562,7 @@ class Plan:
 
     name: str
     steps: tuple[Step, ...]
-    _compiled: dict[tuple[bool, bool, bool], list[Step]] = field(
+    _compiled: dict[tuple[bool, bool, bool, bool], list[Step]] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -478,27 +571,43 @@ class Plan:
         fuse: bool,
         transparent_barriers: bool = False,
         instrument: bool = False,
+        codegen: bool = False,
     ) -> list[Step]:
         """The executable step list, fused when ``fuse`` is set.
 
-        Compilation happens once per (fuse, transparency, instrument)
-        triple and is cached — CG/Chebyshev/PPCG inner loops replay the
-        same compiled list every iteration instead of rebuilding their
-        call sequence.  ``instrument`` weaves resilience fault/guard
-        steps into the compiled list (see :func:`_instrument`).
+        Compilation happens once per (fuse, transparency, instrument,
+        codegen) quadruple and is cached — CG/Chebyshev/PPCG inner loops
+        replay the same compiled list every iteration instead of
+        rebuilding their call sequence.  ``instrument`` weaves resilience
+        fault/guard steps into the compiled list (see :func:`_instrument`);
+        ``codegen`` then lowers every kernel call and fused group to a
+        generated NumPy function (:mod:`repro.models.codegen`), leaving
+        the surrounding halo/scalar/guard steps interpreted.
         """
-        key = (bool(fuse), bool(transparent_barriers), bool(instrument))
+        key = (
+            bool(fuse),
+            bool(transparent_barriers),
+            bool(instrument),
+            bool(codegen),
+        )
         cached = self._compiled.get(key)
         if cached is None:
             cached = self._compile(key[0], key[1]) if fuse else list(self.steps)
             if key[2]:
                 cached = _instrument(cached)
+            if key[3]:
+                # Imported lazily: codegen builds on the IR in this module.
+                from repro.models.codegen import lower_steps
+
+                cached = lower_steps(cached)
             self._compiled[key] = cached
         return cached
 
     def _compile(self, fuse: bool, transparent: bool) -> list[Step]:
         out: list[Step] = []
         group: list[KernelCall] = []
+        #: Every field the open group reads (incl. stencil) or writes.
+        group_fields: set[str] = set()
         hoisted: list[Step] = []
 
         def flush() -> None:
@@ -509,15 +618,30 @@ class Plan:
             else:
                 out.extend(group)
             group.clear()
+            group_fields.clear()
 
         for step in self.steps:
             if isinstance(step, KernelCall) and step.spec.fusable:
                 if group and not _can_fuse(group, step):
                     flush()
                 group.append(step)
+                spec = step.spec
+                group_fields.update(spec.read_fields(step.args))
+                group_fields.update(spec.stencil_reads)
+                group_fields.update(spec.written(step.args))
             elif isinstance(step, BarrierStep) and transparent and group:
                 # Host ports: the data region is a no-op, so the barrier
                 # may cross the group without changing observable order.
+                hoisted.append(step)
+            elif (
+                isinstance(step, HaloStep)
+                and group
+                and not set(step.names) & group_fields
+            ):
+                # Fusion across halos: the exchange touches only fields
+                # the open group neither reads nor writes, so it commutes
+                # with every member and may run before the fused
+                # traversal, letting the calls on either side fuse.
                 hoisted.append(step)
             else:
                 flush()
@@ -531,13 +655,16 @@ class Plan:
         fuse: bool = False,
         transparent_barriers: bool = False,
         instrument: bool = False,
+        codegen: bool = False,
     ) -> str:
         """Human-readable dump (the ``repro plan`` CLI output)."""
         header = f"plan {self.name} (fuse={'on' if fuse else 'off'}"
         if instrument:
             header += ", instrumented"
+        if codegen:
+            header += ", codegen"
         lines = [header + "):"]
-        for step in self.compiled(fuse, transparent_barriers, instrument):
+        for step in self.compiled(fuse, transparent_barriers, instrument, codegen):
             lines.append(f"  {render_step(step)}")
         return "\n".join(lines)
 
@@ -549,10 +676,12 @@ def _render_arg(arg: Any) -> str:
 
 
 def render_step(step: Step) -> str:
-    if isinstance(step, FusedGroup):
-        spec = fused_spec(step.calls)
+    if isinstance(step, CompiledKernel):
         inner = "; ".join(render_step(c) for c in step.calls)
-        return f"fused[{len(step.calls)}] {spec.name}  {{ {inner} }}"
+        return f"compiled[{len(step.calls)}]  {{ {inner} }}"
+    if isinstance(step, FusedGroup):
+        inner = "; ".join(render_step(c) for c in step.calls)
+        return f"fused[{len(step.calls)}] {step.spec.name}  {{ {inner} }}"
     if isinstance(step, KernelCall):
         op = step.spec
         args = ", ".join(_render_arg(a) for a in step.args)
@@ -608,10 +737,17 @@ class PlanExecutor:
     capture.  Without one, the disabled path pays exactly nothing.
     """
 
-    def __init__(self, port: Any, fuse: bool = False, resilience: Any = None) -> None:
+    def __init__(
+        self,
+        port: Any,
+        fuse: bool = False,
+        resilience: Any = None,
+        codegen: bool = False,
+    ) -> None:
         self.port = port
         self.fuse = bool(fuse) and getattr(port, "supports_fusion", False)
         self.resilience = resilience
+        self.codegen = bool(codegen) and getattr(port, "supports_codegen", False)
 
     def run(
         self, plan: Plan, env: dict[str, float] | None = None
@@ -621,13 +757,34 @@ class PlanExecutor:
         m = self.resilience
         env = {} if env is None else env
         transparent = not getattr(port, "has_data_region", False)
-        for step in plan.compiled(self.fuse, transparent, m is not None):
-            if isinstance(step, FusedGroup):
-                calls = tuple(
-                    KernelCall(c.op, self._resolve(c.args, env), c.out, c.finite)
-                    for c in step.calls
-                )
-                results = port.dispatch_fused(calls)
+        for step in plan.compiled(self.fuse, transparent, m is not None, self.codegen):
+            if isinstance(step, CompiledKernel):
+                # Late-bound scalars are the only per-execution variation;
+                # plans without them replay the pre-resolved arg vectors.
+                if step.has_binds:
+                    argv = tuple(
+                        self._resolve(c.args, env) for c in step.calls
+                    )
+                else:
+                    argv = step.argv
+                results = port.dispatch_compiled(step, argv)
+                for call, value in zip(step.calls, results):
+                    self._store(call, value, env)
+                if m is not None:
+                    for call, args in zip(step.calls, argv):
+                        m.note_writes(call.spec.written(args))
+            elif isinstance(step, FusedGroup):
+                # The spec and the Bind scan are compile-time constants on
+                # the group; only plans with late-bound scalars pay the
+                # per-execution call rebuild.
+                if step.has_binds:
+                    calls = tuple(
+                        KernelCall(c.op, self._resolve(c.args, env), c.out, c.finite)
+                        for c in step.calls
+                    )
+                else:
+                    calls = step.calls
+                results = port.dispatch_fused(calls, step.spec)
                 for call, value in zip(calls, results):
                     self._store(call, value, env)
                 if m is not None:

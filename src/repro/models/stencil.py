@@ -71,3 +71,13 @@ def row_matvec(v, kx, ky, I, Im, Ip, J, Jm, Jp) -> np.ndarray:
 def row_diag(kx, ky, I, Ip, J, Jp) -> np.ndarray:
     """diag(A) over a 2-D row slab."""
     return 1.0 + kx[I, Jp] + kx[I, J] + ky[Ip, J] + ky[I, J]
+
+
+def face_coefficient(wa, wb, scale):
+    """Harmonic-mean face conduction coefficient with rx/ry folded in.
+
+    ``scale * (wa + wb) / (2 wa wb)`` in exactly this association order —
+    the tea_leaf_init bodies of every port (and the codegen backend) must
+    produce the same bits for kx/ky or nothing downstream matches.
+    """
+    return scale * (wa + wb) / (2.0 * wa * wb)

@@ -264,3 +264,189 @@ class TestExecutor:
         ex = executor_for(proxy)
         assert ex is not inner.plan_executor
         assert ex.port is proxy
+
+
+class TestFusionAcrossHalos:
+    def test_disjoint_halo_hoists_before_group(self):
+        # The halo touches only u; the group reads/writes r, z, p — the
+        # exchange commutes with every member and runs first, letting the
+        # calls on either side share a traversal.
+        plan = Plan(
+            "t",
+            (
+                KernelCall("cg_precon_jacobi"),
+                HaloStep((F.U,), depth=1),
+                KernelCall("ppcg_calc_p", (0.0,)),
+            ),
+        )
+        steps = plan.compiled(fuse=True)
+        assert [type(s).__name__ for s in steps] == ["HaloStep", "FusedGroup"]
+        assert len(steps[1].calls) == 2
+
+    def test_overlapping_halo_still_splits_group(self):
+        # The halo refreshes z, which the open group just wrote: hoisting
+        # it would reflect stale boundary values.  It must stay a fence.
+        plan = Plan(
+            "t",
+            (
+                KernelCall("cg_precon_jacobi"),
+                HaloStep((F.Z,), depth=1),
+                KernelCall("ppcg_calc_p", (0.0,)),
+            ),
+        )
+        steps = plan.compiled(fuse=True)
+        assert [type(s).__name__ for s in steps] == [
+            "KernelCall",
+            "HaloStep",
+            "KernelCall",
+        ]
+
+    def test_halo_reading_group_member_splits(self):
+        # The halo touches p, read (same-cell) and written by the group.
+        plan = Plan(
+            "t",
+            (
+                KernelCall("cg_calc_p", (0.5,)),
+                HaloStep((F.P,), depth=1),
+                KernelCall("cg_precon_jacobi"),
+            ),
+        )
+        steps = plan.compiled(fuse=True)
+        assert [type(s).__name__ for s in steps] == [
+            "KernelCall",
+            "HaloStep",
+            "KernelCall",
+        ]
+
+    def test_leading_halo_passes_through(self):
+        # No group open yet: the halo stays in place, the following pair
+        # still fuses.
+        plan = Plan(
+            "t",
+            (
+                HaloStep((F.P,), depth=1),
+                KernelCall("cg_precon_jacobi"),
+                KernelCall("dot_fields", (F.R, F.Z), out="rrz"),
+            ),
+        )
+        steps = plan.compiled(fuse=True)
+        assert [type(s).__name__ for s in steps] == ["HaloStep", "FusedGroup"]
+
+
+class TestFusionAudit:
+    """The WAW / pointwise-RAW audit every constructed group re-checks."""
+
+    def test_same_cell_raw_and_waw_are_legal(self):
+        # ppcg_precon_init writes w/sd/z; ppcg_calc_p reads z same-cell.
+        # Bodies run in order per cell, so the group is representable.
+        group = FusedGroup(
+            (
+                KernelCall("ppcg_precon_init", (2.0,)),
+                KernelCall("ppcg_calc_p", (0.5,)),
+            )
+        )
+        assert len(group.calls) == 2
+
+    def test_stencil_raw_group_is_unrepresentable(self):
+        from repro.util.errors import ModelError
+
+        with pytest.raises(ModelError, match="stencil-reads"):
+            FusedGroup(
+                (
+                    KernelCall("cg_calc_p", (0.5,)),
+                    KernelCall("cg_calc_w", out="pw"),
+                )
+            )
+
+    def test_stencil_war_group_is_unrepresentable(self):
+        from repro.util.errors import ModelError
+
+        with pytest.raises(ModelError, match="stencil-reads"):
+            FusedGroup(
+                (
+                    KernelCall("tea_leaf_residual"),
+                    KernelCall("cg_calc_ur", (0.5,), out="rrn"),
+                )
+            )
+
+    def test_unfusable_member_is_unrepresentable(self):
+        from repro.util.errors import ModelError
+
+        with pytest.raises(ModelError, match="not a fusable"):
+            FusedGroup(
+                (
+                    KernelCall("set_field"),
+                    KernelCall("copy_field", (F.U, F.R)),
+                )
+            )
+
+    def test_bind_dependency_is_unrepresentable(self):
+        from repro.util.errors import ModelError
+
+        with pytest.raises(ModelError, match="binds"):
+            FusedGroup(
+                (
+                    KernelCall("dot_fields", (F.R, F.Z), out="beta"),
+                    KernelCall("ppcg_calc_p", (Bind("beta"),)),
+                )
+            )
+
+    def test_no_illegal_fusion_reachable_from_solver_plans(self):
+        # Regression sweep: compile every solver's plan fragments (plus
+        # the driver prologue/epilogue) in all variants; FusedGroup
+        # construction audits each group, so an illegal one would raise.
+        import dataclasses
+
+        from repro.core.deck import default_deck
+        from repro.core.driver import solve_step_plans
+        from repro.core.solvers import solver_plan_fragments
+        from repro.models.plan import audit_fusion
+
+        groups = 0
+        for solver in ("cg", "chebyshev", "ppcg", "jacobi"):
+            deck = default_deck(n=16, solver=solver, end_step=1)
+            for precon in ("none", "jac_diag"):
+                d = dataclasses.replace(deck, tl_preconditioner_type=precon)
+                prologue, epilogue = solve_step_plans(d.grid().halo)
+                for plan in (prologue, *solver_plan_fragments(d), epilogue):
+                    for transparent in (False, True):
+                        for step in plan.compiled(True, transparent):
+                            if isinstance(step, FusedGroup):
+                                audit_fusion(step.calls)  # re-check explicitly
+                                groups += 1
+        assert groups > 0
+
+
+class TestWawBitwiseEquivalence:
+    def test_waw_group_matches_sequential_dispatch(self):
+        # Two members writing the same fields (w/sd/z twice): fused
+        # execution must equal back-to-back dispatch bit for bit.
+        import numpy as np
+
+        from repro.core.deck import default_deck
+        from repro.core.driver import TeaLeaf
+
+        deck = default_deck(n=24, solver="cg", end_step=1)
+        calls = (
+            KernelCall("ppcg_precon_init", (2.0,)),
+            KernelCall("ppcg_precon_init", (4.0,)),
+            KernelCall("ppcg_calc_p", (0.5,)),
+        )
+
+        def run(fused):
+            app = TeaLeaf(deck, model="openmp-f90")
+            app.run()
+            port = app.port
+            if fused:
+                port.dispatch_fused(calls, fused_spec(calls))
+            else:
+                for c in calls:
+                    port.dispatch(c)
+            return {
+                name: port.read_field(name).copy()
+                for name in (F.W, F.SD, F.Z, F.P)
+            }
+
+        a, b = run(fused=True), run(fused=False)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name], err_msg=name)
