@@ -66,6 +66,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["tl_residency_tracking"] = True
     if args.codegen:
         overrides["tl_codegen"] = True
+    if args.overlap:
+        overrides["tl_overlap"] = True
     if overrides:
         deck = dataclasses.replace(deck, **overrides)
 
@@ -102,6 +104,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         print(line)
     print(f"\ntotal wall {result.wall_seconds:.2f}s; trace: {result.trace.summary()}")
+    if args.overlap and result.comm is not None:
+        comm = result.comm
+        print(
+            f"comm: {comm['comm_ms']:.4f} ms modelled wire time, "
+            f"{comm['hidden_ms']:.4f} ms hidden behind interior compute, "
+            f"{comm['exposed_ms']:.4f} ms exposed "
+            f"({comm['overlap_steps']} overlapped / "
+            f"{comm['halo_steps']} synchronous exchanges)"
+        )
     if result.resilience is not None:
         from repro.harness.report import render_resilience
 
@@ -136,11 +147,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"# model {args.model} does not support fusion; showing unfused")
     instrument = bool(getattr(args, "resilient", False))
     codegen = bool(getattr(args, "codegen", False)) and port.supports_codegen
+    overlap = bool(getattr(args, "overlap", False)) and port.supports_overlap
+    if getattr(args, "overlap", False) and not overlap:
+        print(
+            f"# model {args.model} does not support overlap; "
+            f"showing synchronous exchanges"
+        )
     header = f"# model={args.model} solver={deck.solver} mesh={args.mesh}"
     if instrument:
         header += " resilience-instrumented"
     if codegen:
         header += " codegen"
+    if overlap:
+        header += " overlap"
     print(header)
     prologue, epilogue = solve_step_plans(deck.grid().halo)
     for p in [prologue, *fragments, epilogue]:
@@ -150,6 +169,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 transparent_barriers=transparent,
                 instrument=instrument,
                 codegen=codegen,
+                overlap=overlap,
             )
         )
         print()
@@ -570,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run kernel plans as generated NumPy code (tl_codegen); "
              "bitwise-identical to the interpreted path",
     )
+    run.add_argument(
+        "--overlap", action="store_true",
+        help="overlap halo exchanges with interior compute (tl_overlap); "
+             "bitwise-identical, prints exposed/hidden comm accounting",
+    )
     run.set_defaults(fn=_cmd_run)
 
     models = sub.add_parser("models", help="list registered programming models")
@@ -592,6 +617,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--codegen", action="store_true",
         help="show the codegen-lowered variant (compiled kernel steps)",
+    )
+    plan.add_argument(
+        "--overlap", action="store_true",
+        help="show the overlap-paired variant (async exchange steps)",
     )
     plan.add_argument(
         "--resilient", action="store_true",

@@ -271,35 +271,123 @@ class MultiChunkPort(Port):
         self._check_ranks()
         for name in names:
             for lo, hi in ((Side.LEFT, Side.RIGHT), (Side.DOWN, Side.UP)):
-
-                def repair(attempt: int, delay: float, exc: BaseException) -> None:
-                    # A dead peer is a rank failure (recovery needs a
-                    # policy); a straggler just needs the axis drained
-                    # and retried — re-packing is idempotent.
-                    self._check_ranks()
-                    dropped = self.world.drain()
-                    if self._manager is not None:
-                        self._manager.record(
-                            "detect",
-                            f"halo exchange of {name} timed out ({exc}); "
-                            f"drained {int(dropped)} message(s) "
-                            f"{dict(dropped.per_rank)}",
-                        )
-                        self._manager.record(
-                            "retry",
-                            f"halo exchange of {name} retrying after a "
-                            f"straggler timeout (attempt {attempt}, "
-                            f"backoff {delay:.3f}s)",
-                            backoff_seconds=delay,
-                        )
-
-                call_with_retries(
-                    lambda: self._exchange_axis(name, depth, lo, hi),
-                    policy=self.halo_retry_policy,
-                    retry_on=CommTimeoutError,
-                    sleep=self._sleep,
-                    on_retry=repair,
+                self._retry_exchange(
+                    lambda name=name, lo=lo, hi=hi: self._exchange_axis(
+                        name, depth, lo, hi
+                    ),
+                    name,
                 )
+
+    def _retry_exchange(self, fn, name: str) -> None:
+        """Run one exchange leg under the straggler-timeout retry policy."""
+
+        def repair(attempt: int, delay: float, exc: BaseException) -> None:
+            # A dead peer is a rank failure (recovery needs a
+            # policy); a straggler just needs the axis drained
+            # and retried — re-packing is idempotent.
+            self._check_ranks()
+            dropped = self.world.drain()
+            if self._manager is not None:
+                self._manager.record(
+                    "detect",
+                    f"halo exchange of {name} timed out ({exc}); "
+                    f"drained {int(dropped)} message(s) "
+                    f"{dict(dropped.per_rank)}",
+                )
+                self._manager.record(
+                    "retry",
+                    f"halo exchange of {name} retrying after a "
+                    f"straggler timeout (attempt {attempt}, "
+                    f"backoff {delay:.3f}s)",
+                    backoff_seconds=delay,
+                )
+
+        call_with_retries(
+            fn,
+            policy=self.halo_retry_policy,
+            retry_on=CommTimeoutError,
+            sleep=self._sleep,
+            on_retry=repair,
+        )
+
+    # ------------------------------------------------------------------ #
+    # async overlap: nonblocking post / wait
+    # ------------------------------------------------------------------ #
+    def halo_begin(self, names, depth: int):
+        """Post the x-axis sends for every field; delivery waits.
+
+        Packing happens *here*, before any interior sweep mutates the
+        edge layers — the eager-pack side of the overlap WAR contract
+        (the legality pass additionally refuses sweeps that write an
+        exchanged field at all).  Only the x legs can be posted early:
+        the y-axis pack includes the x halo corners, so the y leg must
+        stay behind the x delivery in :meth:`halo_wait`.
+        """
+        self._check_ranks()
+        names = tuple(names)
+        for name in names:
+            self._post_axis(name, depth, Side.LEFT, Side.RIGHT)
+        return (names, depth)
+
+    def halo_wait(self, token) -> None:
+        """Deliver the posted x legs, then run the dependent y legs.
+
+        Keeps the existing liveness/timeout semantics: a straggling or
+        dropped message times the receive out, the repair hook probes
+        ranks and drains the axis, and the retry re-runs the *full*
+        exchange — the posted sends were consumed or drained, and
+        re-packing is idempotent because no overlapped sweep may write
+        an exchanged field.
+        """
+        names, depth = token
+        for name in names:
+            posted = {"pending": True}
+
+            def x_leg(name=name, posted=posted):
+                if posted["pending"]:
+                    posted["pending"] = False
+                    self._recv_axis(name, depth, Side.LEFT, Side.RIGHT)
+                else:
+                    self._exchange_axis(name, depth, Side.LEFT, Side.RIGHT)
+
+            self._retry_exchange(x_leg, name)
+            self._retry_exchange(
+                lambda name=name: self._exchange_axis(
+                    name, depth, Side.DOWN, Side.UP
+                ),
+                name,
+            )
+
+    def overlap_chunks(self):
+        return tuple(self.ports)
+
+    def overlap_reduce(self, partials) -> float:
+        self._check_ranks()
+        return self.world.allreduce_sum(partials, ranks=self.rank_of_chunk)
+
+    def halo_wire_traffic(self, names, depth: int) -> tuple[int, int]:
+        """Modelled (bytes, messages) for one exchange of ``names``.
+
+        One message per internal chunk edge per field; x-side buffers
+        span all rows (corner layers included) and y-side buffers all
+        columns, matching :func:`repro.comm.halo.pack_edge`.
+        """
+        h = self.h
+        nbytes = 0
+        messages = 0
+        for window, sg in zip(self.windows, self.subgrids):
+            for side in (Side.LEFT, Side.RIGHT, Side.DOWN, Side.UP):
+                if self._neighbour(window, side) is None:
+                    continue
+                span = (
+                    sg.ny + 2 * h
+                    if side in (Side.LEFT, Side.RIGHT)
+                    else sg.nx + 2 * h
+                )
+                messages += 1
+                nbytes += span * depth * 8
+        n = len(tuple(names))
+        return (nbytes * n, messages * n)
 
     def _neighbour(self, window: ChunkWindow, side: Side) -> int | None:
         return {
@@ -311,9 +399,13 @@ class MultiChunkPort(Port):
 
     def _exchange_axis(self, name: str, depth: int, lo: Side, hi: Side) -> None:
         """One axis of exchange: post all sends, then receive/unpack."""
+        self._post_axis(name, depth, lo, hi)
+        self._recv_axis(name, depth, lo, hi)
+
+    def _post_axis(self, name: str, depth: int, lo: Side, hi: Side) -> None:
+        """Pack and send one axis's edge strips (the nonblocking half)."""
         h = self.h
         field_tag = _FIELD_TAG[name]
-        # Post sends (pack kernels).
         for window, port in zip(self.windows, self.ports):
             arr = port._device_array(name)
             src = self.rank_of_chunk[window.rank]
@@ -335,7 +427,11 @@ class MultiChunkPort(Port):
                         self.world.post_late(src, dst, tag)
                         continue
                 comm.Send(buffer, dest=dst, tag=tag)
-        # Receive and unpack (or reflect at the physical boundary).
+
+    def _recv_axis(self, name: str, depth: int, lo: Side, hi: Side) -> None:
+        """Receive and unpack one axis (or reflect at a physical wall)."""
+        h = self.h
+        field_tag = _FIELD_TAG[name]
         for window, port in zip(self.windows, self.ports):
             arr = port._device_array(name)
             comm = self.world.rank(self.rank_of_chunk[window.rank])

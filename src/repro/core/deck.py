@@ -124,6 +124,12 @@ class Deck:
     #: (see repro.models.codegen).  Bitwise-identical to the interpreted
     #: path; decomposed ports fall back to interpreted dispatch.
     tl_codegen: bool = False
+    #: Async overlap executor: pair each halo exchange with the stencil
+    #: sweep behind it, post the exchange, run the sweep's interior core
+    #: while messages are in flight, then finish the boundary strips
+    #: (see repro.models.overlap).  Bitwise-identical to the synchronous
+    #: plan; ports that cannot split fall back with a recorded warning.
+    tl_overlap: bool = False
     states: tuple[State, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -335,7 +341,12 @@ def parse_deck(text: str) -> Deck:
         if lowered == "tl_resilient":
             values["tl_resilient"] = True
             continue
-        if lowered in ("tl_fuse_kernels", "tl_residency_tracking", "tl_codegen"):
+        if lowered in (
+            "tl_fuse_kernels",
+            "tl_residency_tracking",
+            "tl_codegen",
+            "tl_overlap",
+        ):
             values[lowered] = True
             continue
         if lowered in _IGNORED_KEYS:

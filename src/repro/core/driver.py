@@ -16,6 +16,7 @@ changes through conduction.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 
@@ -102,6 +103,15 @@ class RunResult:
     trace: Trace
     #: Injection/detection/recovery accounting; None when resilience is off.
     resilience: ResilienceReport | None = None
+    #: Flags the executor could not honour on this port (e.g. codegen on
+    #: a decomposed port) — recorded, never silently dropped.
+    fallbacks: list[str] = field(default_factory=list)
+    #: Deterministic exposed/hidden communication accounting
+    #: (``CommStats.as_dict()``; zeros for single-chunk runs).
+    comm: dict | None = None
+    #: Codegen function-cache hits/misses scoped to *this* run (the
+    #: module counter is a process-global aggregate).
+    codegen_cache: dict | None = None
 
     @property
     def total_iterations(self) -> int:
@@ -190,8 +200,14 @@ class TeaLeaf:
             fuse=deck.tl_fuse_kernels,
             resilience=self.resilience,
             codegen=deck.tl_codegen,
+            overlap=deck.tl_overlap,
         )
         self.port.plan_executor = self.executor
+        # A requested optimisation the port cannot honour degrades
+        # loudly: one warning line per fallback, plus a record on the
+        # run result — never a silent flag drop.
+        for message in self.executor.fallbacks:
+            print(f"tealeaf: warning: {message}", file=sys.stderr)
         self._prologue, self._epilogue = solve_step_plans(self.grid.halo)
 
         # Residency tracking: skip device<->host traffic for fields the
@@ -331,6 +347,9 @@ class TeaLeaf:
             wall_seconds=time.perf_counter() - t0,
             trace=self.trace,
             resilience=self.resilience.report if self.resilience is not None else None,
+            fallbacks=list(self.executor.fallbacks),
+            comm=self.executor.comm.as_dict(),
+            codegen_cache=self.executor.codegen_cache_stats(),
         )
 
     # ------------------------------------------------------------------ #

@@ -151,6 +151,11 @@ class LockstepPort(Port):
     """
 
     model_name = "lockstep"
+    #: The facade exists to observe every public kernel call; overlap
+    #: execution writes device arrays directly and would bypass the
+    #: per-call comparison, so it is refused (the executor records the
+    #: fallback instead of silently degrading the lockstep contract).
+    supports_overlap = False
 
     def __init__(
         self,

@@ -91,6 +91,13 @@ class Port(ABC):
     #: whose fields live per-chunk, opt out.
     supports_codegen: bool = True
 
+    #: Whether the async overlap executor may split this port's sweeps
+    #: into interior/boundary regions and run them around a posted halo
+    #: exchange.  Anything with a :meth:`_device_array` qualifies;
+    #: proxies that must observe every public kernel call (the lockstep
+    #: numerics harness) opt out, and the executor records the fallback.
+    supports_overlap: bool = True
+
     #: True for offload models whose begin/end_solve opens a real data
     #: region; gates barrier hoisting in the plan compiler.
     has_data_region: bool = False
@@ -387,6 +394,44 @@ class Port(ABC):
             ops.reflective_halo_update(self._device_array(name), self.h, depth)
             self._launch("halo_update", cells=self._halo_cells(depth))
             self._mark_dirty((name,))
+
+    # ------------------------------------------------------------------ #
+    # async overlap (the deterministic simulated-async exchange API)
+    # ------------------------------------------------------------------ #
+    def halo_begin(self, names: Iterable[str], depth: int):
+        """Post the exchange for ``names``; returns a wait token.
+
+        The single-chunk default completes the reflective update eagerly
+        — the deterministic simulated-async mode: the 'posted' exchange
+        reads exactly the pre-sweep edge values the synchronous
+        :meth:`update_halo` would, so overlapped results are bitwise
+        identical and there is no wall-clock nondeterminism.  Decomposed
+        ports override this pair to genuinely split post and delivery.
+        """
+        self.update_halo(names, depth)
+        return None
+
+    def halo_wait(self, token) -> None:
+        """Complete a posted exchange (no-op for the eager default)."""
+
+    def overlap_chunks(self) -> tuple[Port, ...]:
+        """The per-chunk ports an overlapped sweep iterates over."""
+        return (self,)
+
+    def overlap_reduce(self, partials: list[float]) -> float:
+        """Combine per-chunk reduction partials (allreduce when ranked)."""
+        return partials[0]
+
+    def halo_wire_traffic(
+        self, names: Iterable[str], depth: int
+    ) -> tuple[int, int]:
+        """(bytes, messages) one exchange of ``names`` puts on the wire.
+
+        Single-chunk ports exchange nothing — reflective boundaries are
+        local — so exposed-communication accounting reports zero for
+        them and the decomposed port supplies the real footprint.
+        """
+        return (0, 0)
 
     @abstractmethod
     def _device_array(self, name: str) -> np.ndarray:

@@ -31,8 +31,11 @@ through a per-execution ``argv`` table, so the only thing baked into
 source text is field *names*.  That makes the module-level function
 cache (:data:`CACHE_STATS` counts hits/misses) shareable across ports,
 grids, and plan instances; the per-plan ``Plan._compiled`` entry keyed
-by (fuse, transparency, instrument, codegen) then reuses each lowered
-step list wholesale across iterations.
+by (fuse, transparency, instrument, codegen, overlap) then reuses each
+lowered step list wholesale across iterations.  :data:`CACHE_STATS` is
+the process-global aggregate — per-run rates come from
+``PlanExecutor.codegen_cache_stats``, which snapshots it at executor
+construction.
 """
 
 from __future__ import annotations
@@ -351,12 +354,22 @@ def _cache_key(calls: tuple[KernelCall, ...]) -> tuple:
 
 
 def generate_source(calls: tuple[KernelCall, ...]) -> str:
-    """The generated function source for ``calls`` (docs/tests helper)."""
+    """The generated function source for ``calls`` (docs/tests helper).
+
+    Generated functions take an optional region ``R`` (a
+    :class:`~repro.models.overlap.RegionSlices`): when given, the body's
+    slices come from the region instead of the full-interior context, so
+    the async overlap executor can run the same cached function over an
+    interior core or a boundary strip.  ``ctx.*`` geometry (``h``,
+    ``nx``, ``dx2``...) stays whole-grid either way — only the
+    whole-interior ops use it, and those are never region-split.
+    """
     lines = [
-        "def _gen(ctx, argv):",
+        "def _gen(ctx, argv, R=None):",
         "    A = ctx.array",
-        "    I = ctx.I; Ip = ctx.Ip; Im = ctx.Im",
-        "    J = ctx.J; Jp = ctx.Jp; Jm = ctx.Jm",
+        "    S = ctx if R is None else R",
+        "    I = S.I; Ip = S.Ip; Im = S.Im",
+        "    J = S.J; Jp = S.Jp; Jm = S.Jm",
     ]
     fetched: list[str] = []
     for c in calls:

@@ -317,6 +317,43 @@ class FusedGroup:
 
 
 @dataclass(frozen=True)
+class OverlapStep:
+    """An exchange overlapped with the interior sweep of the next step.
+
+    Built by the overlap pass (``Plan.compiled(..., overlap=True)``)
+    from an adjacent ``(HaloStep, KernelCall | FusedGroup)`` pair whose
+    dataflow :func:`~repro.models.overlap.overlap_reason` declares safe:
+    the exchange is posted, every chunk's core (cells whose stencil
+    cannot reach a ghost layer) is swept while the messages are in
+    flight, the wait completes delivery, the boundary strips sweep
+    against the fresh ghosts, and member epilogues/reductions finish
+    over the whole interior.  Results are bitwise-identical to running
+    the halo then the body — only the exposed communication time
+    changes.
+    """
+
+    halo: HaloStep
+    body: Any  # KernelCall | FusedGroup
+    calls: tuple[KernelCall, ...] = field(init=False, compare=False)
+    has_binds: bool = field(init=False, compare=False)
+    argv: tuple[tuple[Any, ...], ...] = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        calls = (
+            self.body.calls
+            if isinstance(self.body, FusedGroup)
+            else (self.body,)
+        )
+        object.__setattr__(self, "calls", calls)
+        object.__setattr__(
+            self,
+            "has_binds",
+            any(isinstance(a, Bind) for c in calls for a in c.args),
+        )
+        object.__setattr__(self, "argv", tuple(c.args for c in calls))
+
+
+@dataclass(frozen=True)
 class FaultStep:
     """Fault-plan trigger point for the named kernel launches.
 
@@ -525,6 +562,36 @@ def _guard_for(call: KernelCall) -> GuardStep | None:
     return None
 
 
+def _overlap_steps(steps: list[Step]) -> list[Step]:
+    """Pair each legal adjacent (HaloStep, sweep) into an OverlapStep.
+
+    Runs after fusion and before instrumentation, so a hoisted halo next
+    to the fused group it was lifted over is itself a candidate pair.
+    Pairs the legality pass refuses (see
+    :func:`repro.models.overlap.overlap_reason`) stay as-is — overlap
+    never changes results, only which steps can hide their exchange.
+    """
+    # Imported lazily: the overlap module builds on the IR defined here.
+    from repro.models.overlap import overlap_reason
+
+    out: list[Step] = []
+    i = 0
+    while i < len(steps):
+        step = steps[i]
+        nxt = steps[i + 1] if i + 1 < len(steps) else None
+        if (
+            isinstance(step, HaloStep)
+            and isinstance(nxt, (KernelCall, FusedGroup))
+            and overlap_reason(step, nxt) is None
+        ):
+            out.append(OverlapStep(step, nxt))
+            i += 2
+        else:
+            out.append(step)
+            i += 1
+    return out
+
+
 def _instrument(steps: list[Step]) -> list[Step]:
     """Weave fault-trigger and guard steps into a compiled step list.
 
@@ -551,6 +618,17 @@ def _instrument(steps: list[Step]) -> list[Step]:
         elif isinstance(step, HaloStep):
             out.append(FaultStep(("update_halo",)))
             out.append(step)
+        elif isinstance(step, OverlapStep):
+            # Same trigger/guard sequence the unoverlapped pair gets:
+            # halo fault point, member fault points, then the member
+            # guards once the overlapped execution completes.
+            out.append(FaultStep(("update_halo",)))
+            out.append(FaultStep(tuple(c.op for c in step.calls)))
+            out.append(step)
+            for call in step.calls:
+                guard = _guard_for(call)
+                if guard is not None:
+                    out.append(guard)
         else:
             out.append(step)
     return out
@@ -562,7 +640,7 @@ class Plan:
 
     name: str
     steps: tuple[Step, ...]
-    _compiled: dict[tuple[bool, bool, bool, bool], list[Step]] = field(
+    _compiled: dict[tuple[bool, bool, bool, bool, bool], list[Step]] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -572,27 +650,33 @@ class Plan:
         transparent_barriers: bool = False,
         instrument: bool = False,
         codegen: bool = False,
+        overlap: bool = False,
     ) -> list[Step]:
         """The executable step list, fused when ``fuse`` is set.
 
         Compilation happens once per (fuse, transparency, instrument,
-        codegen) quadruple and is cached — CG/Chebyshev/PPCG inner loops
-        replay the same compiled list every iteration instead of
-        rebuilding their call sequence.  ``instrument`` weaves resilience
-        fault/guard steps into the compiled list (see :func:`_instrument`);
-        ``codegen`` then lowers every kernel call and fused group to a
-        generated NumPy function (:mod:`repro.models.codegen`), leaving
-        the surrounding halo/scalar/guard steps interpreted.
+        codegen, overlap) tuple and is cached — CG/Chebyshev/PPCG inner
+        loops replay the same compiled list every iteration instead of
+        rebuilding their call sequence.  Pass order: ``fuse`` first,
+        then ``overlap`` pairs exchanges with the (possibly fused) sweep
+        behind them, ``instrument`` weaves resilience fault/guard steps
+        around the result (see :func:`_instrument`), and ``codegen``
+        finally lowers the remaining plain kernel calls and fused groups
+        to generated NumPy functions (:mod:`repro.models.codegen`),
+        leaving halo/scalar/guard/overlap steps interpreted.
         """
         key = (
             bool(fuse),
             bool(transparent_barriers),
             bool(instrument),
             bool(codegen),
+            bool(overlap),
         )
         cached = self._compiled.get(key)
         if cached is None:
             cached = self._compile(key[0], key[1]) if fuse else list(self.steps)
+            if key[4]:
+                cached = _overlap_steps(cached)
             if key[2]:
                 cached = _instrument(cached)
             if key[3]:
@@ -656,6 +740,7 @@ class Plan:
         transparent_barriers: bool = False,
         instrument: bool = False,
         codegen: bool = False,
+        overlap: bool = False,
     ) -> str:
         """Human-readable dump (the ``repro plan`` CLI output)."""
         header = f"plan {self.name} (fuse={'on' if fuse else 'off'}"
@@ -663,8 +748,12 @@ class Plan:
             header += ", instrumented"
         if codegen:
             header += ", codegen"
+        if overlap:
+            header += ", overlap"
         lines = [header + "):"]
-        for step in self.compiled(fuse, transparent_barriers, instrument, codegen):
+        for step in self.compiled(
+            fuse, transparent_barriers, instrument, codegen, overlap
+        ):
             lines.append(f"  {render_step(step)}")
         return "\n".join(lines)
 
@@ -676,6 +765,11 @@ def _render_arg(arg: Any) -> str:
 
 
 def render_step(step: Step) -> str:
+    if isinstance(step, OverlapStep):
+        return (
+            f"overlap {{ {render_step(step.halo)} || interior-first "
+            f"{render_step(step.body)} }}"
+        )
     if isinstance(step, CompiledKernel):
         inner = "; ".join(render_step(c) for c in step.calls)
         return f"compiled[{len(step.calls)}]  {{ {inner} }}"
@@ -735,6 +829,11 @@ class PlanExecutor:
     boundaries) and journals every step's write set and scalar output
     into the manager — feeding incremental checkpoints and scalar-state
     capture.  Without one, the disabled path pays exactly nothing.
+
+    A flag a port cannot honour (``codegen`` on a decomposed port,
+    ``overlap`` on a proxy that intercepts public kernel calls) is not
+    silently dropped: the degradation is recorded in :attr:`fallbacks`
+    so the driver can warn and the run report can show it.
     """
 
     def __init__(
@@ -743,11 +842,71 @@ class PlanExecutor:
         fuse: bool = False,
         resilience: Any = None,
         codegen: bool = False,
+        overlap: bool = False,
     ) -> None:
         self.port = port
         self.fuse = bool(fuse) and getattr(port, "supports_fusion", False)
         self.resilience = resilience
+        #: Requested-but-unsupported flag degradations, in request order.
+        self.fallbacks: list[str] = []
         self.codegen = bool(codegen) and getattr(port, "supports_codegen", False)
+        if codegen and not self.codegen:
+            self.fallbacks.append(
+                f"codegen requested but port "
+                f"'{getattr(port, 'model_name', '?')}' does not support it "
+                f"(supports_codegen=False); running interpreted kernels"
+            )
+        self.overlap = bool(overlap) and getattr(port, "supports_overlap", False)
+        if overlap and not self.overlap:
+            self.fallbacks.append(
+                f"overlap requested but port "
+                f"'{getattr(port, 'model_name', '?')}' cannot split "
+                f"interior/boundary sweeps (supports_overlap=False); "
+                f"halo exchanges stay synchronous"
+            )
+        # Imported lazily: the overlap module builds on the IR here.
+        from repro.models.overlap import CommStats, comm_cost_ms, execute_overlap
+
+        #: Deterministic exposed/hidden communication ledger for this
+        #: executor's runs (surfaced as ``RunResult.comm``).
+        self.comm = CommStats()
+        self._comm_cost_ms = comm_cost_ms
+        self._execute_overlap = execute_overlap
+        #: Per-(names, depth) modelled wire cost, so per-step accounting
+        #: is a dict lookup instead of a decomposition walk.
+        self._halo_costs: dict[tuple, float] = {}
+        # Per-run codegen cache telemetry: snapshot the process-global
+        # counters now so campaign runs and harness experiments report
+        # their *own* hit/miss rates while the global keeps aggregating.
+        from repro.models.codegen import CACHE_STATS
+
+        self._codegen_stats_base = (CACHE_STATS["hits"], CACHE_STATS["misses"])
+
+    def codegen_cache_stats(self) -> dict[str, int]:
+        """Codegen function-cache hits/misses since this executor began.
+
+        The module-level :data:`repro.models.codegen.CACHE_STATS` is a
+        process-global aggregate; it used to leak across campaign runs
+        and harness experiments, so every run after the first reported
+        the previous runs' traffic too.  The per-executor snapshot makes
+        per-run rates accurate without resetting the aggregate.
+        """
+        from repro.models.codegen import CACHE_STATS
+
+        return {
+            "hits": CACHE_STATS["hits"] - self._codegen_stats_base[0],
+            "misses": CACHE_STATS["misses"] - self._codegen_stats_base[1],
+        }
+
+    def _halo_cost(self, names: tuple, depth: int) -> float:
+        key = (names, depth)
+        cost = self._halo_costs.get(key)
+        if cost is None:
+            traffic = getattr(self.port, "halo_wire_traffic", None)
+            nbytes, messages = traffic(names, depth) if traffic else (0, 0)
+            cost = self._comm_cost_ms(nbytes, messages)
+            self._halo_costs[key] = cost
+        return cost
 
     def run(
         self, plan: Plan, env: dict[str, float] | None = None
@@ -757,7 +916,9 @@ class PlanExecutor:
         m = self.resilience
         env = {} if env is None else env
         transparent = not getattr(port, "has_data_region", False)
-        for step in plan.compiled(self.fuse, transparent, m is not None, self.codegen):
+        for step in plan.compiled(
+            self.fuse, transparent, m is not None, self.codegen, self.overlap
+        ):
             if isinstance(step, CompiledKernel):
                 # Late-bound scalars are the only per-execution variation;
                 # plans without them replay the pre-resolved arg vectors.
@@ -798,8 +959,30 @@ class PlanExecutor:
                     m.note_writes(step.spec.written(args))
             elif isinstance(step, HaloStep):
                 port.update_halo(step.names, depth=step.depth)
+                self.comm.record_halo(
+                    plan.name,
+                    step.names,
+                    step.depth,
+                    self._halo_cost(step.names, step.depth),
+                )
                 if m is not None:
                     m.note_writes(step.names)
+            elif isinstance(step, OverlapStep):
+                if step.has_binds:
+                    argv = tuple(
+                        self._resolve(c.args, env) for c in step.calls
+                    )
+                else:
+                    argv = step.argv
+                results = self._execute_overlap(
+                    port, step, argv, self.comm, plan.name
+                )
+                for call, value in zip(step.calls, results):
+                    self._store(call, value, env)
+                if m is not None:
+                    m.note_writes(step.halo.names)
+                    for call, args in zip(step.calls, argv):
+                        m.note_writes(call.spec.written(args))
             elif isinstance(step, ScalarStep):
                 value = step.fn(env)
                 if step.finite:

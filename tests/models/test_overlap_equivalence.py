@@ -1,0 +1,151 @@
+"""Bitwise equivalence of ``--overlap`` composed with every other flag.
+
+The async overlap executor reorders *scheduling* — interior sweeps run
+while exchanges are in flight — but must never reorder *dataflow*: the
+solution field, iteration trajectory, summary and injection accounting
+must be bit-identical to the synchronous plan on every registered port,
+under every combination of fusion, codegen and resilience, and on the
+decomposed multi-chunk ensemble (including under comm-level fault
+injection, where the retried exchange repacks from unmutated bodies).
+"""
+
+import dataclasses
+import itertools
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.comm.multichunk import MultiChunkPort
+from repro.core import fields as F
+from repro.core.deck import default_deck, parse_deck_file
+from repro.core.driver import TeaLeaf
+from repro.models.base import available_models
+
+DECK = Path(__file__).resolve().parents[2] / "decks" / "tea_bm_short.in"
+
+
+def _deck(**overrides):
+    deck = parse_deck_file(str(DECK))
+    return dataclasses.replace(
+        deck, tl_preconditioner_type="jac_diag", **overrides
+    )
+
+
+def _capture(app, result):
+    return {
+        "u": app.field(F.U)[app.grid.inner()].copy(),
+        "per_step": result.iterations_per_step(),
+        "summary": result.steps[-1].summary,
+        "injections": (
+            result.resilience.injections if result.resilience else None
+        ),
+        "fallbacks": result.fallbacks,
+    }
+
+
+@pytest.fixture(scope="module")
+def overlap_runs():
+    """Reference: the full flag stack *without* overlap, per model.
+    Candidates: the same stack with overlap on."""
+    flags = dict(
+        tl_fuse_kernels=True,
+        tl_codegen=True,
+        tl_resilient=True,
+        tl_inject="nan:u:5",
+    )
+    runs = {}
+    for model in available_models():
+        ref_app = TeaLeaf(_deck(**flags), model=model)
+        over_app = TeaLeaf(_deck(tl_overlap=True, **flags), model=model)
+        runs[model] = (
+            _capture(ref_app, ref_app.run()),
+            _capture(over_app, over_app.run()),
+        )
+    return runs
+
+
+class TestOverlapAllModels:
+    def test_u_bitwise_identical(self, overlap_runs):
+        for model, (ref, over) in overlap_runs.items():
+            np.testing.assert_array_equal(over["u"], ref["u"], err_msg=model)
+
+    def test_iteration_trajectories_identical(self, overlap_runs):
+        for model, (ref, over) in overlap_runs.items():
+            assert over["per_step"] == ref["per_step"], model
+
+    def test_summaries_bit_identical(self, overlap_runs):
+        for model, (ref, over) in overlap_runs.items():
+            assert over["summary"] == ref["summary"], model
+
+    def test_injection_counts_identical(self, overlap_runs):
+        for model, (ref, over) in overlap_runs.items():
+            assert over["injections"] == ref["injections"] == 1, model
+
+    def test_no_fallbacks_on_host_ports(self, overlap_runs):
+        for model, (_, over) in overlap_runs.items():
+            assert over["fallbacks"] == [], model
+
+
+class TestOverlapFlagMatrix:
+    """All 16 combinations of (overlap, fuse, codegen, resilient) on the
+    reference model produce one bit pattern."""
+
+    def test_sixteen_combo_sweep(self):
+        base = None
+        for ov, fu, cg, rs in itertools.product((False, True), repeat=4):
+            deck = dataclasses.replace(
+                default_deck(n=48, end_step=2),
+                tl_overlap=ov,
+                tl_fuse_kernels=fu,
+                tl_codegen=cg,
+                tl_resilient=rs,
+            )
+            app = TeaLeaf(deck, model="openmp-f90")
+            app.run()
+            u = app.field(F.U)
+            if base is None:
+                base = u
+            else:
+                np.testing.assert_array_equal(
+                    u, base, err_msg=f"overlap={ov} fuse={fu} cg={cg} res={rs}"
+                )
+
+
+class TestOverlapDecomposed:
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_multichunk_bitwise(self, nranks):
+        def run(overlap):
+            deck = _deck(tl_overlap=overlap)
+            port = MultiChunkPort(deck.grid(), nranks=nranks)
+            app = TeaLeaf(deck, port=port)
+            result = app.run()
+            return _capture(app, result), result.comm
+
+        ref, _ = run(False)
+        over, comm = run(True)
+        np.testing.assert_array_equal(over["u"], ref["u"])
+        assert over["per_step"] == ref["per_step"]
+        assert over["summary"] == ref["summary"]
+        assert comm["overlap_steps"] > 0 and comm["hidden_ms"] > 0.0
+
+    def test_multichunk_with_comm_faults(self):
+        """Drop/delay injection on the in-flight exchange: the retry
+        repacks edges whose source values the interior body never
+        touched, so recovery stays bitwise too."""
+
+        def run(overlap):
+            deck = _deck(
+                tl_overlap=overlap,
+                tl_resilient=True,
+                tl_inject="drop:p:3,delay:p:7",
+            )
+            port = MultiChunkPort(deck.grid(), nranks=4)
+            app = TeaLeaf(deck, port=port)
+            return _capture(app, app.run())
+
+        ref = run(False)
+        over = run(True)
+        np.testing.assert_array_equal(over["u"], ref["u"])
+        assert over["per_step"] == ref["per_step"]
+        assert over["injections"] == ref["injections"]
