@@ -1,0 +1,111 @@
+"""Batched multi-deck throughput vs sequential single-deck runs.
+
+Runs the benchmark deck N times sequentially, then once as an N-lane
+batch through the shared field arena and the batch conductor, and
+records both throughputs (decks/sec) plus the arena-vs-persistent
+memory ratio to ``BENCH_batch.json``.  Bitwise identity of every lane
+against the sequential golden hash is asserted inside the sweep —
+throughput numbers for a batch that diverges are meaningless.
+
+Run with::
+
+    pytest benchmarks/test_batch_throughput.py --benchmark-only
+"""
+
+import dataclasses
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import fields as F
+from repro.core.batch import run_batch
+from repro.core.deck import parse_deck_file
+from repro.core.driver import TeaLeaf
+
+REPO = Path(__file__).resolve().parents[1]
+DECK = REPO / "decks" / "tea_bm_short.in"
+OUT = REPO / "BENCH_batch.json"
+
+MODEL = "openmp-f90"
+LANES = 4
+MODES = ["sequential", "batched"]
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _deck():
+    return dataclasses.replace(
+        parse_deck_file(DECK), tl_fuse_kernels=True, tl_codegen=True
+    )
+
+
+def measure(mode: str) -> dict:
+    deck = _deck()
+    if mode == "sequential":
+        hashes = []
+        t0 = time.perf_counter()
+        for _ in range(LANES):
+            app = TeaLeaf(deck, model=MODEL)
+            app.run()
+            hashes.append(
+                hashlib.sha256(app.field(F.U).tobytes()).hexdigest()[:16]
+            )
+        wall = time.perf_counter() - t0
+        return {
+            "mode": mode,
+            "lanes": LANES,
+            "wall_seconds": round(wall, 4),
+            "decks_per_second": round(LANES / wall, 4),
+            "u_hashes": hashes,
+        }
+    batch = run_batch([deck] * LANES, model=MODEL)
+    assert batch.errors == []
+    return {
+        "mode": mode,
+        "lanes": LANES,
+        "wall_seconds": round(batch.wall_seconds, 4),
+        "decks_per_second": round(batch.decks_per_second, 4),
+        "u_hashes": batch.u_hashes,
+        "rounds": batch.rounds,
+        "batched_calls": batch.batched_calls,
+        "solo_calls": batch.solo_calls,
+        "arena_bytes": batch.arena_stats["arena_bytes"],
+        "work_field_bytes": batch.arena_stats["work_field_bytes"],
+        "bytes_ratio": round(batch.arena_stats["bytes_ratio"], 4),
+    }
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_batch_throughput(mode, benchmark):
+    row = benchmark.pedantic(measure, args=(mode,), rounds=1, iterations=1)
+    _RESULTS[mode] = row
+    if mode == "batched":
+        assert row["batched_calls"] > 0
+        # arena acceptance: shared slots beat per-deck persistent scratch
+        assert row["arena_bytes"] < row["work_field_bytes"]
+
+
+def test_write_bench_json():
+    """Aggregate both modes into BENCH_batch.json."""
+    if len(_RESULTS) < len(MODES):  # benchmark selection skipped the sweep
+        pytest.skip("no batch measurements collected")
+    seq, bat = _RESULTS["sequential"], _RESULTS["batched"]
+    payload = {
+        "deck": DECK.name,
+        "model": MODEL,
+        "lanes": LANES,
+        "modes": _RESULTS,
+        "summary": {
+            "speedup": round(
+                bat["decks_per_second"] / max(seq["decks_per_second"], 1e-12), 4
+            ),
+            "bytes_ratio": bat["bytes_ratio"],
+            "bitwise_identical": seq["u_hashes"] == bat["u_hashes"],
+        },
+    }
+    OUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    assert payload["summary"]["bitwise_identical"]
+    assert payload["summary"]["bytes_ratio"] < 1.0

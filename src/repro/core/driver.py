@@ -32,6 +32,7 @@ from repro.util.errors import CorruptionError, RankFailureError
 from repro.util.timing import TimerRegistry
 
 if TYPE_CHECKING:  # avoid a core <-> models import cycle
+    from repro.models.arena import FieldArena
     from repro.models.base import Port
     from repro.models.plan import Plan
     from repro.models.tracing import Trace
@@ -143,6 +144,9 @@ class TeaLeaf:
         port: Port | None = None,
         visit_dir: str | None = None,
         resilience: ResilienceManager | None = None,
+        arena: "FieldArena | None" = None,
+        arena_lane: int = 0,
+        batch_conductor: object | None = None,
     ) -> None:
         # Imported here rather than at module scope: the models package
         # imports repro.core, so a top-level import would be circular.
@@ -218,6 +222,45 @@ class TeaLeaf:
         if deck.tl_residency_tracking:
             self.port.enable_residency_tracking()
 
+        # Field arena: back every field with rows of a slot-shared arena
+        # sized by the liveness pass (repro.models.arena), so work fields
+        # whose live ranges never overlap reuse one slot.  A batch runner
+        # (repro.core.batch) passes a shared multi-lane arena plus its
+        # conductor; a solo run with tl_field_arena builds a private
+        # single-lane one.  Ports that cannot alias external storage
+        # degrade loudly, like any other unhonoured optimisation flag.
+        self.arena = arena
+        self.arena_lane = arena_lane
+        if arena is None and deck.tl_field_arena:
+            if self.port.supports_field_binding:
+                from repro.models.arena import FieldArena, deck_liveness
+
+                liveness = deck_liveness(deck, self.grid.halo)
+                words = int(self.grid.shape[0]) * int(self.grid.shape[1])
+                self.arena = FieldArena(words, lanes=1, liveness=liveness)
+                self.arena_lane = 0
+            else:
+                message = (
+                    f"tl_field_arena requested but the {model} port cannot "
+                    "bind external field storage; using persistent arrays"
+                )
+                self.executor.fallbacks.append(message)
+                print(f"tealeaf: warning: {message}", file=sys.stderr)
+        if self.arena is not None:
+            self.arena.bind_port(self.port, self.arena_lane)
+            self.executor.attach_arena(
+                self.arena,
+                lane=self.arena_lane,
+                releases=(
+                    self.arena.liveness.releases
+                    if deck.tl_arena_poison
+                    else None
+                ),
+            )
+            if batch_conductor is not None:
+                self.executor.batch_conductor = batch_conductor
+                self.executor.batch_lane = self.arena_lane
+
         density, energy0 = generate_chunk(list(deck.states), self.grid)
         with self.trace.section("init"):
             self.port.set_state(density, energy0)
@@ -240,6 +283,12 @@ class TeaLeaf:
         manager = self.resilience
         if manager is not None:
             manager.current_step = self.step_count
+
+        if self.arena is not None and self.deck.tl_arena_poison:
+            # Every arena work field is def-before-use within a step (the
+            # liveness pass proved none is live into the cycle), so a NaN
+            # floor at step entry can only surface stale-read bugs.
+            self.arena.poison_work_fields(self.arena_lane, self.port)
 
         retries = 0
         summary = None

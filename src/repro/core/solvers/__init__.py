@@ -93,6 +93,51 @@ def solver_plan_fragments(deck):
     raise ValueError(f"solver '{deck.solver}' does not execute through plans")
 
 
+def solver_timeline(deck):
+    """``(plan, in_loop)`` rows of one canonical solve, for liveness.
+
+    The liveness pass (:func:`repro.models.plan.compute_liveness`) needs
+    to know which fragments repeat: it unrolls every contiguous run of
+    in-loop plans twice so loop-carried fields (``p`` across CG
+    iterations, ``sd`` across Chebyshev smoothing steps) interfere across
+    the back edge exactly as they do mid-loop.  One-shot setup/teardown
+    fragments stay single.
+    """
+    fragments = solver_plan_fragments(deck)
+    if deck.solver == "jacobi":
+        loop = {"jacobi_step", "jacobi_residual"}
+    elif deck.solver == "cg":
+        loop = {
+            "cg_iter_head",
+            "cg_iter_body",
+            "cg_iter_tail",
+            "pcg_iter_body",
+            "pcg_iter_tail",
+        }
+    elif deck.solver == "chebyshev":
+        # The CG bootstrap iterates before Chebyshev takes over; both
+        # loops repeat within a solve.
+        loop = {
+            "cg_iter_head",
+            "cg_iter_body",
+            "cg_iter_tail",
+            "cheby_step",
+            "cheby_check",
+        }
+    else:  # ppcg — everything after SOLVE_INIT repeats per iteration
+        loop = {
+            "cg_iter_head",
+            "cg_iter_body",
+            "cg_iter_tail",
+            "ppcg_restart",
+            "ppcg_restart_tail",
+            "pcg_iter_body",
+            "ppcg_iter_tail",
+        }
+        loop.update(p.name for p in fragments if p.name.startswith("ppcg_precon"))
+    return [(plan, plan.name in loop) for plan in fragments]
+
+
 __all__ = [
     "Solver",
     "SolveResult",
@@ -107,4 +152,5 @@ __all__ = [
     "make_solver",
     "solver_names",
     "solver_plan_fragments",
+    "solver_timeline",
 ]

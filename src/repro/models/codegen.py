@@ -40,6 +40,7 @@ construction.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -69,6 +70,18 @@ class CodegenContext:
         "array", "h", "nx", "ny", "dx2", "dy2",
         "I", "Ip", "Im", "J", "Jp", "Jm",
     )
+
+    def reduce(self, values: np.ndarray) -> float:
+        """Canonical deterministic interior reduction.
+
+        Generated bodies route every reduction through the context's
+        ``reduce`` (bound as ``RD`` in the preamble) instead of calling
+        ``deterministic_sum`` directly, so a batched context
+        (:class:`repro.core.batch.BatchContext`) can substitute a
+        per-lane loop over the trailing lane axis while each lane's sum
+        stays bitwise the sequential one.
+        """
+        return deterministic_sum(values.ravel())
 
     def __init__(self, array: Callable[[str], np.ndarray], grid: Any) -> None:
         h, nx, ny = grid.halo, grid.nx, grid.ny
@@ -154,14 +167,14 @@ def _e_cg_init(L: list[str], args: tuple, k: int) -> None:
         "v_r[I, J] = v_u0[I, J] - v_w[I, J]",
         "v_p[I, J] = v_r[I, J]",
         f"rr_{k} = v_r[I, J]",
-        f"res.append(dsum((rr_{k} * rr_{k}).ravel()))",
+        f"res.append(RD(rr_{k} * rr_{k}))",
     ]
 
 
 def _e_cg_calc_w(L: list[str], args: tuple, k: int) -> None:
     L += [
         f"v_w[I, J] = {_mv('p')}",
-        "res.append(dsum((v_p[I, J] * v_w[I, J]).ravel()))",
+        "res.append(RD(v_p[I, J] * v_w[I, J]))",
     ]
 
 
@@ -171,7 +184,7 @@ def _e_cg_calc_ur(L: list[str], args: tuple, k: int) -> None:
         f"v_u[I, J] += a_{k} * v_p[I, J]",
         f"v_r[I, J] -= a_{k} * v_w[I, J]",
         f"rr_{k} = v_r[I, J]",
-        f"res.append(dsum((rr_{k} * rr_{k}).ravel()))",
+        f"res.append(RD(rr_{k} * rr_{k}))",
     ]
 
 
@@ -239,19 +252,19 @@ def _e_jacobi_iterate(L: list[str], args: tuple, k: int) -> None:
         " + v_kx[I, Jp] * v_r[I, Jp] + v_kx[I, J] * v_r[I, Jm]"
         " + v_ky[Ip, J] * v_r[Ip, J] + v_ky[I, J] * v_r[Im, J]"
         f") / diag_{k}",
-        "res.append(dsum(np.abs(v_u[I, J] - v_r[I, J]).ravel()))",
+        "res.append(RD(np.abs(v_u[I, J] - v_r[I, J])))",
     ]
 
 
 def _e_norm2_field(L: list[str], args: tuple, k: int) -> None:
     L += [
         f"vv_{k} = v_{args[0]}[I, J]",
-        f"res.append(dsum((vv_{k} * vv_{k}).ravel()))",
+        f"res.append(RD(vv_{k} * vv_{k}))",
     ]
 
 
 def _e_dot_fields(L: list[str], args: tuple, k: int) -> None:
-    L += [f"res.append(dsum((v_{args[0]}[I, J] * v_{args[1]}[I, J]).ravel()))"]
+    L += [f"res.append(RD(v_{args[0]}[I, J] * v_{args[1]}[I, J]))"]
 
 
 def _e_copy_field(L: list[str], args: tuple, k: int) -> None:
@@ -338,6 +351,11 @@ _FN_CACHE: dict[tuple, tuple[Callable, str]] = {}
 #: Function-cache telemetry (the codegen-cache test reads this).
 CACHE_STATS = {"hits": 0, "misses": 0}
 
+#: Guards the function cache: lane threads of a batched run compile
+#: concurrently, and function identity doubles as the conductor's
+#: grouping key.
+_FN_LOCK = threading.Lock()
+
 
 def clear_cache() -> None:
     """Drop all generated functions and reset the hit/miss counters."""
@@ -370,6 +388,7 @@ def generate_source(calls: tuple[KernelCall, ...]) -> str:
         "    S = ctx if R is None else R",
         "    I = S.I; Ip = S.Ip; Im = S.Im",
         "    J = S.J; Jp = S.Jp; Jm = S.Jm",
+        "    RD = S.reduce",
     ]
     fetched: list[str] = []
     for c in calls:
@@ -389,6 +408,15 @@ def generate_source(calls: tuple[KernelCall, ...]) -> str:
 
 
 def _function_for(calls: tuple[KernelCall, ...]) -> tuple[Callable, str]:
+    # Serialised: batched runs compile from several lane threads at
+    # once, and the batch conductor groups rendezvoused steps by
+    # *function identity* — every lane must get the same object back
+    # for one key, never a duplicate compile racing into the cache.
+    with _FN_LOCK:
+        return _function_for_locked(calls)
+
+
+def _function_for_locked(calls: tuple[KernelCall, ...]) -> tuple[Callable, str]:
     key = _cache_key(calls)
     hit = _FN_CACHE.get(key)
     if hit is not None:

@@ -148,6 +148,17 @@ class RegionSlices:
         self.Jp = slice(h + c0 + 1, h + c1 + 1)
         self.Jm = slice(h + c0 - 1, h + c1 - 1)
 
+    @staticmethod
+    def reduce(values: Any) -> float:  # pragma: no cover - legality bars it
+        """Generated preamble binds ``S.reduce``; a region must never sum.
+
+        A partial-region reduction would not be the canonical
+        deterministic interior sum — the overlap legality pass keeps
+        reductions in whole-interior epilogues, so reaching this is a
+        compiler bug, not a numerics choice.
+        """
+        raise AssertionError("reduction evaluated over a boundary region")
+
 
 # --------------------------------------------------------------------- #
 # overlap templates

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.kernels import KERNELS, KernelSpec
 from repro.util.errors import CorruptionError, ModelError
@@ -84,6 +84,13 @@ class OpSpec:
     writes_arg: int | None = None
     #: When True, every string arg names a field that is read.
     reads_args: bool = False
+    #: Fields some *interpreted* port implementations clobber as private
+    #: staging even though they are outside the declared dataflow (the
+    #: cheby kernels stage ``A u`` through ``w``).  Ignored by fusion,
+    #: codegen and residency — but the liveness pass must treat them as
+    #: use+def so arena slot sharing never hands the staging bytes to a
+    #: concurrently-live field.
+    scratch_writes: tuple[str, ...] = ()
 
     def written(self, args: tuple[Any, ...]) -> tuple[str, ...]:
         out = self.writes
@@ -165,12 +172,14 @@ OPS: dict[str, OpSpec] = dict(
             reads=(F.U, F.U0, F.KX, F.KY),
             stencil_reads=(F.U, F.KX, F.KY),
             writes=(F.R, F.SD, F.U),
+            scratch_writes=(F.W,),
         ),
         _op(
             "cheby_iterate",
             reads=(F.R, F.SD, F.U, F.KX, F.KY),
             stencil_reads=(F.SD, F.KX, F.KY),
             writes=(F.R, F.SD, F.U),
+            scratch_writes=(F.W,),
         ),
         _op(
             "ppcg_precon_init",
@@ -812,6 +821,217 @@ def render_step(step: Step) -> str:
 
 
 # --------------------------------------------------------------------- #
+# the liveness pass
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LiveEvent:
+    """One field-touching point of a canonical solve timeline.
+
+    ``uses`` are read before ``defs`` are written, except that an
+    operation's stencil reads and its writes genuinely interleave cell
+    by cell — which is why interference below treats same-event use and
+    def as conflicting.
+    """
+
+    index: int
+    plan: str
+    step: int
+    label: str
+    uses: tuple[str, ...]
+    defs: tuple[str, ...]
+
+
+#: Synthetic terminal event: the driver's out-of-plan consumers (the
+#: ``field_summary`` reduction, VTK dumps, ``app.field(u)`` probes) read
+#: these fields after the epilogue, so they stay live to the cycle end.
+_OBSERVE_USES = (F.DENSITY, F.ENERGY1, F.U)
+
+
+def _step_dataflow(step: Step) -> list[tuple[str, tuple[str, ...], tuple[str, ...]]]:
+    """(label, uses, defs) entries for one raw plan step."""
+    if isinstance(step, KernelCall):
+        op = step.spec
+        uses = tuple(
+            dict.fromkeys(
+                op.read_fields(step.args) + op.stencil_reads + op.scratch_writes
+            )
+        )
+        defs = tuple(dict.fromkeys(op.written(step.args) + op.scratch_writes))
+        return [(step.op, uses, defs)]
+    if isinstance(step, HaloStep):
+        # The reflective exchange derives ghost layers from the interior:
+        # a use (of the interior) and a def (of the ghosts) of each name.
+        return [(f"halo({','.join(step.names)})", step.names, step.names)]
+    return []
+
+
+def plan_events(plan: Plan) -> list[tuple[str, int, str, tuple, tuple]]:
+    """The (plan, step, label, uses, defs) rows of one plan's raw steps."""
+    rows = []
+    for idx, step in enumerate(plan.steps):
+        for label, uses, defs in _step_dataflow(step):
+            rows.append((plan.name, idx, label, uses, defs))
+    return rows
+
+
+def plan_live_in(plan: Plan) -> frozenset[str]:
+    """Fields ``plan`` reads before (re)defining them."""
+    live_in: set[str] = set()
+    seen: set[str] = set()
+    for _, _, _, uses, defs in plan_events(plan):
+        live_in.update(u for u in uses if u not in seen)
+        seen.update(defs)
+    return frozenset(live_in)
+
+
+@dataclass(frozen=True)
+class FieldLiveness:
+    """Per-field live ranges and arena slot assignment for one solve cycle.
+
+    Computed over a canonical timeline (prologue, solver fragments with
+    loop bodies unrolled twice, epilogue, observe) that repeats every
+    timestep, so liveness wraps around: the exit live set is the
+    timeline's own use-before-def set.
+    """
+
+    events: tuple[LiveEvent, ...]
+    #: Values that must survive at each event: live-in ∪ defs (same-event
+    #: use/def conflict by construction — stencil sweeps interleave).
+    live: tuple[frozenset[str], ...]
+    #: Fields read by the cycle before it redefines them (live across the
+    #: timestep boundary; never arena-eligible).
+    live_in: frozenset[str]
+    #: WORK-role fields whose every cycle fully re-derives them — the
+    #: arena candidate set, in slot-assignment order.
+    arena_fields: tuple[str, ...]
+    #: Arena slot per eligible field (interference-graph coloring).
+    slots: dict[str, int]
+    slot_count: int
+    #: Eligible fields every *consuming plan* defines before reading — a
+    #: NaN poison of their slot after any plan that touches them can
+    #: never be observed by a correct run.
+    self_contained: frozenset[str]
+    #: plan name -> fields safely poisonable when that plan completes.
+    releases: dict[str, tuple[str, ...]]
+
+    def interfere(self, a: str, b: str) -> bool:
+        return any(a in p and b in p for p in self.live)
+
+    def segments(self, name: str) -> list[tuple[int, int]]:
+        """Maximal [start, end] event-index runs where ``name`` is live."""
+        out: list[tuple[int, int]] = []
+        for i, p in enumerate(self.live):
+            if name in p:
+                if out and out[-1][1] == i - 1:
+                    out[-1] = (out[-1][0], i)
+                else:
+                    out.append((i, i))
+        return out
+
+
+def compute_liveness(timeline: Sequence[Plan]) -> FieldLiveness:
+    """Live ranges + arena slots for a canonical cyclic plan timeline.
+
+    ``timeline`` is the ordered plan sequence of one timestep with loop
+    bodies repeated twice — the second unroll gives every loop position a
+    successor iteration, so loop-carried fields (``p`` across CG
+    iterations, ``sd`` across Chebyshev iterations) interfere exactly as
+    they do mid-loop.
+    """
+    rows: list[tuple[str, int, str, tuple, tuple]] = []
+    for plan in timeline:
+        rows.extend(plan_events(plan))
+    rows.append(("<observe>", 0, "field_summary/output", _OBSERVE_USES, ()))
+    events = tuple(
+        LiveEvent(i, p, s, label, uses, defs)
+        for i, (p, s, label, uses, defs) in enumerate(rows)
+    )
+
+    # Cycle-carried fields: read before any def in a forward scan.
+    live_in: set[str] = set()
+    seen: set[str] = set()
+    for ev in events:
+        live_in.update(u for u in ev.uses if u not in seen)
+        seen.update(ev.defs)
+
+    # Backward pass: the timeline repeats, so its exit live set is its
+    # own entry live set.
+    live_sets: list[frozenset[str]] = [frozenset()] * len(events)
+    live = set(live_in)
+    for ev in reversed(events):
+        point = (live | set(ev.defs)) | set(ev.uses)
+        live_sets[ev.index] = frozenset(point)
+        live -= set(ev.defs)
+        live |= set(ev.uses)
+
+    touched = {n for ev in events for n in ev.uses + ev.defs}
+    eligible = [
+        n
+        for n in F.FIELD_ORDER
+        if F.role(n) is F.FieldRole.WORK and n not in live_in
+    ]
+
+    # First live position orders the greedy coloring (classic left-edge).
+    def first_pos(name: str) -> int:
+        for i, p in enumerate(live_sets):
+            if name in p:
+                return i
+        return len(live_sets)  # never live: shares with anything
+
+    slots: dict[str, int] = {}
+    slot_members: dict[int, list[str]] = {}
+    for name in sorted(eligible, key=first_pos):
+        s = 0
+        while any(
+            any(name in p and m in p for p in live_sets)
+            for m in slot_members.get(s, ())
+        ):
+            s += 1
+        slots[name] = s
+        slot_members.setdefault(s, []).append(name)
+
+    # Self-contained fields: every plan that uses them defines them
+    # first, so their value never crosses a plan boundary and a poison
+    # after any touching plan is unobservable regardless of control flow.
+    all_live_in: set[str] = set(_OBSERVE_USES)
+    for plan in timeline:
+        all_live_in |= plan_live_in(plan)
+    self_contained = frozenset(
+        n for n in eligible if n in touched and n not in all_live_in
+    )
+
+    releases: dict[str, tuple[str, ...]] = {}
+    for plan in timeline:
+        if plan.name in releases:
+            continue
+        plan_touched = {
+            n for _, _, _, uses, defs in plan_events(plan) for n in uses + defs
+        }
+        dead: list[str] = []
+        for n in self_contained:
+            if n not in plan_touched:
+                continue
+            # Poisoning fills the whole slot: only safe when every other
+            # field sharing it is never touched by this solver at all.
+            partners = [m for m in slot_members[slots[n]] if m != n]
+            if all(m not in touched for m in partners):
+                dead.append(n)
+        if dead:
+            releases[plan.name] = tuple(dead)
+
+    return FieldLiveness(
+        events=events,
+        live=tuple(live_sets),
+        live_in=frozenset(live_in),
+        arena_fields=tuple(sorted(eligible, key=first_pos)),
+        slots=slots,
+        slot_count=len(slot_members),
+        self_contained=self_contained,
+        releases=releases,
+    )
+
+
+# --------------------------------------------------------------------- #
 # the executor
 # --------------------------------------------------------------------- #
 class PlanExecutor:
@@ -881,6 +1101,34 @@ class PlanExecutor:
         from repro.models.codegen import CACHE_STATS
 
         self._codegen_stats_base = (CACHE_STATS["hits"], CACHE_STATS["misses"])
+        #: Batched multi-deck execution: when a conductor is attached
+        #: (``repro.core.batch``) every :class:`CompiledKernel` dispatch
+        #: rendezvouses there so one generated function can sweep all
+        #: lanes' fields at once.  ``None`` costs one attribute test.
+        self.batch_conductor: Any = None
+        self.batch_lane: int = 0
+        # Arena poison bookkeeping — see :meth:`attach_arena`.
+        self._arena: Any = None
+        self._arena_lane: int = 0
+        self._poison_after: dict[str, tuple[str, ...]] = {}
+
+    def attach_arena(
+        self,
+        arena: Any,
+        lane: int,
+        releases: Mapping[str, tuple[str, ...]] | None = None,
+    ) -> None:
+        """Wire an arena lane (and optional poison schedule) to this executor.
+
+        ``releases`` maps plan names to the fields whose slots are
+        NaN-poisoned when that plan finishes (the liveness pass's
+        :attr:`FieldLiveness.releases`): any later read of a dead work
+        field then surfaces as a loud non-finite failure instead of a
+        silent stale value.
+        """
+        self._arena = arena
+        self._arena_lane = lane
+        self._poison_after = dict(releases or {})
 
     def codegen_cache_stats(self) -> dict[str, int]:
         """Codegen function-cache hits/misses since this executor began.
@@ -928,7 +1176,12 @@ class PlanExecutor:
                     )
                 else:
                     argv = step.argv
-                results = port.dispatch_compiled(step, argv)
+                if self.batch_conductor is not None:
+                    results = self.batch_conductor.submit(
+                        self.batch_lane, port, step, argv
+                    )
+                else:
+                    results = port.dispatch_compiled(step, argv)
                 for call, value in zip(step.calls, results):
                     self._store(call, value, env)
                 if m is not None:
@@ -1006,6 +1259,10 @@ class PlanExecutor:
                         m.iteration_complete(port)
             else:  # pragma: no cover - plans are built from known steps
                 raise TypeError(f"unknown plan step {step!r}")
+        if self._poison_after:
+            dead = self._poison_after.get(plan.name)
+            if dead:
+                self._arena.poison(dead, self._arena_lane, port)
         return env
 
     @staticmethod

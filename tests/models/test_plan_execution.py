@@ -120,3 +120,53 @@ def test_fusion_stays_on_under_fault_injection():
     assert np.array_equal(base_app.field(F.U), fused_app.field(F.U))
     assert observables(base_app, base)[1:] == observables(fused_app, fused)[1:]
     assert fused.trace.kernel_launches() < base.trace.kernel_launches()
+
+
+#: Port families that can rebind field storage onto an external arena.
+BINDING_MODELS = ["openmp-f90", "kokkos", "raja", "cuda", "opencl"]
+
+
+@pytest.mark.parametrize("model", BINDING_MODELS)
+def test_arena_with_poison_bitwise_identical(model):
+    """Slot-shared arena storage plus NaN poison-on-release is invisible:
+    the liveness pass only merges fields whose values never coexist, and
+    poisoning a dead slot can only be observed by a stale read."""
+    base_app, base = run(model)
+    arena_app, arena = run(
+        model, tl_field_arena=True, tl_arena_poison=True
+    )
+    assert arena_app.arena is not None
+    assert arena.fallbacks == []
+    assert np.array_equal(base_app.field(F.U), arena_app.field(F.U))
+    assert observables(base_app, base)[1:] == observables(arena_app, arena)[1:]
+    stats = arena_app.arena.stats()
+    # The point of the arena: fewer slots than work fields.
+    assert stats["slot_count"] < len(stats["arena_fields"])
+    assert stats["arena_bytes"] < stats["work_field_bytes"]
+
+
+def test_arena_poison_composes_with_codegen_fusion_residency():
+    base_app, base = run("openmp-f90")
+    app, result = run(
+        "openmp-f90",
+        tl_field_arena=True,
+        tl_arena_poison=True,
+        tl_fuse_kernels=True,
+        tl_codegen=True,
+        tl_residency_tracking=True,
+    )
+    assert result.fallbacks == []
+    assert np.array_equal(base_app.field(F.U), app.field(F.U))
+    assert observables(base_app, base)[1:] == observables(app, result)[1:]
+
+
+@pytest.mark.parametrize("model", REGION_MODELS)
+def test_arena_falls_back_loudly_on_data_region_ports(model):
+    """Data-region ports copy host arrays on map, so they cannot alias
+    arena rows: the flag degrades to persistent arrays with a recorded
+    fallback, never silently."""
+    base_app, base = run(model)
+    app, result = run(model, tl_field_arena=True)
+    assert app.arena is None
+    assert any("tl_field_arena" in message for message in result.fallbacks)
+    assert np.array_equal(base_app.field(F.U), app.field(F.U))
